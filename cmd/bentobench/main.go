@@ -1,0 +1,48 @@
+// bentobench regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	bentobench                  # run every experiment at default scale
+//	bentobench -exp fig4        # one experiment
+//	bentobench -quick           # reduced scale (seconds, not minutes)
+//	bentobench -dur 200ms       # override the virtual measurement window
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"bento/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id: "+strings.Join(harness.AllExperiments, ", ")+", or all")
+	quick := flag.Bool("quick", false, "reduced scale for fast runs")
+	dur := flag.Duration("dur", 0, "virtual measurement window per workload (0 = default)")
+	flag.Parse()
+
+	o := harness.Defaults()
+	if *quick {
+		o = harness.Quick()
+	}
+	if *dur > 0 {
+		o.Duration = *dur
+	}
+
+	ids := harness.AllExperiments
+	if *exp != "all" {
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		out, err := harness.Run(id, o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bentobench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s (host time %v) ==\n%s\n", id, time.Since(start).Round(time.Millisecond), out)
+	}
+}

@@ -1,0 +1,72 @@
+// fsck checks an image produced by cmd/mkfs (or any tool using the same
+// sparse format) for xv6 metadata consistency.
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"bento/internal/blockdev"
+	"bento/internal/costmodel"
+	"bento/internal/vclock"
+	"bento/internal/xv6/layout"
+)
+
+func main() {
+	flag.Parse()
+	path := "disk.img"
+	if flag.NArg() > 0 {
+		path = flag.Arg(0)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fsck:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	var hdr [12]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil || string(hdr[:4]) != "BIMG" {
+		fmt.Fprintln(os.Stderr, "fsck: not a bento disk image")
+		os.Exit(1)
+	}
+	blocks := int(binary.LittleEndian.Uint32(hdr[4:]))
+	bs := int(binary.LittleEndian.Uint32(hdr[8:]))
+	dev := blockdev.MustNew(blockdev.Config{Blocks: blocks, BlockSize: bs, Model: costmodel.Fast()})
+	clk := vclock.NewClock()
+	buf := make([]byte, bs)
+	for {
+		var rec [4]byte
+		if _, err := io.ReadFull(f, rec[:]); err == io.EOF {
+			break
+		} else if err != nil {
+			fmt.Fprintln(os.Stderr, "fsck:", err)
+			os.Exit(1)
+		}
+		b := int(binary.LittleEndian.Uint32(rec[:]))
+		if _, err := io.ReadFull(f, buf); err != nil {
+			fmt.Fprintln(os.Stderr, "fsck:", err)
+			os.Exit(1)
+		}
+		if err := dev.Write(clk, b, buf); err != nil {
+			fmt.Fprintln(os.Stderr, "fsck:", err)
+			os.Exit(1)
+		}
+	}
+	rep, err := layout.Fsck(clk, dev)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fsck:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("fsck: %d inodes (%d dirs, %d files), %d/%d blocks used\n",
+		rep.Inodes, rep.Dirs, rep.Files, rep.UsedBlocks, rep.TotalBlocks)
+	if !rep.OK() {
+		for _, e := range rep.Errors {
+			fmt.Println("  ERROR:", e)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("fsck: clean")
+}

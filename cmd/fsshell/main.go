@@ -1,0 +1,107 @@
+// fsshell is an interactive shell over a freshly mounted file system in
+// the simulated kernel — handy for poking at any of the four variants.
+//
+//	fsshell -fs bento|ckernel|fuse|ext4
+//
+// Commands: ls [path], cat <path>, write <path> <text>, mkdir <path>,
+// rm <path>, rmdir <path>, mv <old> <new>, ln <old> <new>, stat <path>,
+// statfs, sync, time, quit.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bento/internal/fsapi"
+	"bento/internal/harness"
+)
+
+func main() {
+	fsName := flag.String("fs", "bento", "variant: bento, ckernel, fuse, ext4")
+	flag.Parse()
+
+	variant := map[string]string{
+		"bento": harness.VariantBento, "ckernel": harness.VariantCKernel,
+		"fuse": harness.VariantFUSE, "ext4": harness.VariantExt4,
+	}[strings.ToLower(*fsName)]
+	if variant == "" {
+		fmt.Fprintln(os.Stderr, "fsshell: unknown variant", *fsName)
+		os.Exit(1)
+	}
+	o := harness.Quick()
+	tg, err := harness.NewTarget(variant, o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fsshell:", err)
+		os.Exit(1)
+	}
+	task := tg.K.NewTask("shell")
+	fmt.Printf("mounted %s; type 'help' for commands\n", variant)
+
+	sc := bufio.NewScanner(os.Stdin)
+	for fmt.Print("> "); sc.Scan(); fmt.Print("> ") {
+		args := strings.Fields(sc.Text())
+		if len(args) == 0 {
+			continue
+		}
+		var err error
+		switch args[0] {
+		case "quit", "exit":
+			return
+		case "help":
+			fmt.Println("ls cat write mkdir rm rmdir mv ln stat statfs sync time quit")
+		case "ls":
+			p := "/"
+			if len(args) > 1 {
+				p = args[1]
+			}
+			var ents []fsapi.DirEntry
+			ents, err = tg.M.ReadDir(task, p)
+			for _, e := range ents {
+				fmt.Printf("%s %8d %s\n", e.Type, e.Ino, e.Name)
+			}
+		case "cat":
+			var data []byte
+			data, err = tg.M.ReadFile(task, args[1])
+			if err == nil {
+				fmt.Println(string(data))
+			}
+		case "write":
+			err = tg.M.WriteFile(task, args[1], []byte(strings.Join(args[2:], " ")))
+		case "mkdir":
+			err = tg.M.Mkdir(task, args[1])
+		case "rm":
+			err = tg.M.Unlink(task, args[1])
+		case "rmdir":
+			err = tg.M.Rmdir(task, args[1])
+		case "mv":
+			err = tg.M.Rename(task, args[1], args[2])
+		case "ln":
+			err = tg.M.Link(task, args[1], args[2])
+		case "stat":
+			var st fsapi.Stat
+			st, err = tg.M.Stat(task, args[1])
+			if err == nil {
+				fmt.Printf("ino=%d type=%s size=%d nlink=%d\n", st.Ino, st.Type, st.Size, st.Nlink)
+			}
+		case "statfs":
+			var st fsapi.FSStat
+			st, err = tg.M.StatFS(task)
+			if err == nil {
+				fmt.Printf("blocks %d/%d free, inodes %d/%d free\n",
+					st.FreeBlocks, st.TotalBlocks, st.FreeInodes, st.TotalInodes)
+			}
+		case "sync":
+			err = tg.M.Sync(task)
+		case "time":
+			fmt.Println("virtual time:", task.Clk.Now())
+		default:
+			fmt.Println("unknown command; try 'help'")
+		}
+		if err != nil {
+			fmt.Println("error:", err)
+		}
+	}
+}

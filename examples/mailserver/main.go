@@ -1,0 +1,30 @@
+// Mailserver: the workload the paper's varmail macrobenchmark models —
+// concurrent mail delivery with fsync-guarded appends — run against two
+// variants (Bento in-kernel and FUSE) to show the transport penalty from
+// application code's point of view.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bento/internal/filebench"
+	"bento/internal/harness"
+)
+
+func main() {
+	for _, variant := range []string{harness.VariantBento, harness.VariantFUSE} {
+		tg, err := harness.NewTarget(variant, harness.Quick())
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := filebench.Varmail(tg, filebench.MacroConfig{
+			Threads: 8, Files: 32, MaxOps: 500,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %s\n", variant, res)
+	}
+	fmt.Println("\nthe gap is the cost of the user/kernel transport plus fsync-to-FLUSH")
+}

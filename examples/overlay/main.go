@@ -1,0 +1,77 @@
+// Overlay: the paper's motivating Docker use case — layer a writable
+// file system over a read-only base image using the composable
+// file-system extension, stacked at the Bento file-operations API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bento/internal/bentoks"
+	"bento/internal/blockdev"
+	"bento/internal/composefs"
+	"bento/internal/core"
+	"bento/internal/costmodel"
+	"bento/internal/kernel"
+	"bento/internal/vclock"
+	"bento/internal/xv6/bentoimpl"
+	"bento/internal/xv6/layout"
+)
+
+func main() {
+	model := costmodel.Default()
+	k := kernel.New(model)
+	task := k.NewTask("main")
+
+	// Each layer is an independent xv6 file system on its own device.
+	newLayer := func() *bentoimpl.FS {
+		dev := blockdev.MustNew(blockdev.Config{Blocks: 8192, Model: model})
+		if _, err := layout.Mkfs(vclock.NewClock(), dev, 512); err != nil {
+			log.Fatal(err)
+		}
+		fs := bentoimpl.New(bentoimpl.Config{})
+		bc := kernel.NewBufferCache(dev, model, 0)
+		if err := fs.Init(task, bentoks.NewSuperBlock(bc, nil)); err != nil {
+			log.Fatal(err)
+		}
+		return fs
+	}
+
+	// The "container image": a read-only base layer.
+	base := newLayer()
+	img, err := base.Create(task, 1, "etc.conf")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := base.Write(task, img.Ino, 0, []byte("setting=default\n")); err != nil {
+		log.Fatal(err)
+	}
+
+	// The container's writable layer, composed over the image.
+	upper := newLayer()
+	ov := composefs.New(upper, base)
+	if err := core.Register(k, "overlay", func() core.FileSystem { return ov }); err != nil {
+		log.Fatal(err)
+	}
+	anchor := blockdev.MustNew(blockdev.Config{Blocks: 64, Model: model})
+	m, err := k.Mount(task, "overlay", "/", anchor)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Read from the image through the overlay.
+	data, _ := m.ReadFile(task, "/etc.conf")
+	fmt.Printf("base image:  %s", data)
+
+	// The container modifies it: copy-up into the writable layer.
+	if err := m.WriteFile(task, "/etc.conf", []byte("setting=customized\n")); err != nil {
+		log.Fatal(err)
+	}
+	data, _ = m.ReadFile(task, "/etc.conf")
+	fmt.Printf("container:   %s", data)
+
+	// The base layer is untouched.
+	buf := make([]byte, 64)
+	n, _ := base.Read(task, img.Ino, 0, buf)
+	fmt.Printf("still in base image: %s", buf[:n])
+}

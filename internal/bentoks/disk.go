@@ -1,0 +1,48 @@
+package bentoks
+
+import "bento/internal/kernel"
+
+// Buffer is the borrowed-block abstraction file systems program against.
+// In the kernel it is the checked BufferHead wrapper; at user level
+// (§4.9) it is a userspace buffer backed by O_DIRECT file I/O. File
+// systems written against this interface run unmodified in both worlds —
+// the paper's debugging/code-reuse architecture.
+type Buffer interface {
+	// BlockNo reports the cached block number.
+	BlockNo() int
+	// Data exposes the block contents for the duration of the borrow.
+	Data() ([]byte, error)
+	// Slice returns a bounds-checked sub-range of the contents.
+	Slice(off, n int) ([]byte, error)
+	// MarkDirty records a modification.
+	MarkDirty() error
+	// SubmitWrite queues the block to stable storage, returning the
+	// completion time for batched waiting.
+	SubmitWrite(t *kernel.Task) (int64, error)
+	// WriteSync writes the block and waits.
+	WriteSync(t *kernel.Task) error
+	// Release returns the borrow (brelse).
+	Release() error
+}
+
+// Disk is the storage service a Bento file system receives at Init: the
+// kernel-side SuperBlock capability, or the userspace O_DIRECT
+// equivalent when the same file system runs under FUSE.
+type Disk interface {
+	// BlockSize reports the device block size.
+	BlockSize() int
+	// Blocks reports the device capacity in blocks.
+	Blocks() int
+	// BRead returns the buffer for blk (sb_bread).
+	BRead(t *kernel.Task, blk int) (Buffer, error)
+	// BReadNoFill returns a zeroed buffer for a block about to be fully
+	// overwritten.
+	BReadNoFill(t *kernel.Task, blk int) (Buffer, error)
+	// WithBuffer brackets fn with BRead/Release.
+	WithBuffer(t *kernel.Task, blk int, fn func(Buffer) error) error
+	// SyncDirtyBuffers writes all dirty cached buffers.
+	SyncDirtyBuffers(t *kernel.Task) error
+	// Flush makes completed writes durable (device FLUSH; at user level,
+	// fsync of the disk file).
+	Flush(t *kernel.Task) error
+}

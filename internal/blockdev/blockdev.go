@@ -1,0 +1,322 @@
+// Package blockdev implements the simulated NVMe SSD that backs every file
+// system in this repository.
+//
+// The device stores real bytes (file systems on top of it are functional,
+// not mocked) and charges virtual time through a vclock.Resource that
+// models the drive's queue pairs. Writes land in a volatile write cache:
+// they complete quickly but are not durable until a FLUSH command, which is
+// slow — the behaviour of consumer NVMe parts without power-loss
+// protection, and the mechanism behind the paper's FUSE fsync penalty.
+//
+// Crash(keepFraction, seed) reverts the device to its durable state plus a
+// pseudo-random subset of unflushed writes, emulating power loss with write
+// reordering; the crash-recovery tests for the xv6 log and the ext4 journal
+// are built on it.
+package blockdev
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"bento/internal/costmodel"
+	"bento/internal/vclock"
+)
+
+// Common device errors.
+var (
+	// ErrOutOfRange reports a block number outside the device.
+	ErrOutOfRange = errors.New("blockdev: block out of range")
+	// ErrIO reports an injected I/O failure.
+	ErrIO = errors.New("blockdev: I/O error")
+	// ErrBadSize reports a buffer whose length is not the block size.
+	ErrBadSize = errors.New("blockdev: buffer size != block size")
+)
+
+// Config describes a device to create.
+type Config struct {
+	// BlockSize in bytes; defaults to 4096.
+	BlockSize int
+	// Blocks is the number of blocks; must be > 0.
+	Blocks int
+	// Model supplies service times; defaults to costmodel.Default().
+	Model *costmodel.Model
+	// Name labels the device in stats output.
+	Name string
+}
+
+// Stats counts completed device commands.
+type Stats struct {
+	Reads        int64
+	Writes       int64
+	Flushes      int64
+	BytesRead    int64
+	BytesWritten int64
+}
+
+// Device is a RAM-backed, latency-modeled block device. It is safe for
+// concurrent use.
+type Device struct {
+	mu        sync.Mutex
+	name      string
+	blockSize int
+	blocks    int
+	// Storage is sparse: absent blocks read as zeros, so multi-GiB devices
+	// cost host memory only for blocks actually written. A durable block's
+	// slice may be shared between data and persist; the first write after a
+	// FLUSH copies-on-write, so persist is never mutated in place.
+	data    map[int][]byte   // current contents (includes unflushed writes)
+	persist map[int][]byte   // durable contents (as of the last FLUSH)
+	dirty   map[int]struct{} // blocks written since the last FLUSH
+	res     *vclock.Resource
+	model   *costmodel.Model
+	stats   Stats
+
+	// fault injection
+	readErr  map[int]error
+	writeErr map[int]error
+	failAll  error
+}
+
+// New creates a device per cfg.
+func New(cfg Config) (*Device, error) {
+	if cfg.BlockSize == 0 {
+		cfg.BlockSize = 4096
+	}
+	if cfg.BlockSize < 512 || cfg.BlockSize%512 != 0 {
+		return nil, fmt.Errorf("blockdev: bad block size %d", cfg.BlockSize)
+	}
+	if cfg.Blocks <= 0 {
+		return nil, fmt.Errorf("blockdev: bad block count %d", cfg.Blocks)
+	}
+	if cfg.Model == nil {
+		cfg.Model = costmodel.Default()
+	}
+	if cfg.Name == "" {
+		cfg.Name = "nvme0"
+	}
+	return &Device{
+		name:      cfg.Name,
+		blockSize: cfg.BlockSize,
+		blocks:    cfg.Blocks,
+		data:      make(map[int][]byte),
+		persist:   make(map[int][]byte),
+		dirty:     make(map[int]struct{}),
+		res:       vclock.NewResource(cfg.Name, cfg.Model.DevChannels),
+		model:     cfg.Model,
+	}, nil
+}
+
+// MustNew is New for tests and examples where the config is known-good.
+func MustNew(cfg Config) *Device {
+	d, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// BlockSize reports the device block size in bytes.
+func (d *Device) BlockSize() int { return d.blockSize }
+
+// Blocks reports the number of blocks on the device.
+func (d *Device) Blocks() int { return d.blocks }
+
+// Model exposes the device's cost model (shared with the kernel sim).
+func (d *Device) Model() *costmodel.Model { return d.model }
+
+// Read copies block blk into buf (len must equal BlockSize) and advances
+// clk to the command's completion time.
+func (d *Device) Read(clk *vclock.Clock, blk int, buf []byte) error {
+	if len(buf) != d.blockSize {
+		return ErrBadSize
+	}
+	d.mu.Lock()
+	if err := d.checkLocked(blk, d.readErr); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	if b, ok := d.data[blk]; ok {
+		copy(buf, b)
+	} else {
+		clear(buf)
+	}
+	d.stats.Reads++
+	d.stats.BytesRead += int64(d.blockSize)
+	d.mu.Unlock()
+
+	done := d.res.Acquire(clk.NowNS(), int64(d.model.DevRead(d.blockSize)))
+	clk.AdvanceTo(done)
+	return nil
+}
+
+// Submit queues a write of buf to block blk and returns the command's
+// completion time without advancing clk. Callers that batch writes submit
+// them all, then AdvanceTo the latest completion — that is how the
+// in-kernel file systems exploit the device's queue-depth parallelism.
+// The write is volatile until Flush.
+func (d *Device) Submit(clk *vclock.Clock, blk int, buf []byte) (completion int64, err error) {
+	if len(buf) != d.blockSize {
+		return 0, ErrBadSize
+	}
+	d.mu.Lock()
+	if err := d.checkLocked(blk, d.writeErr); err != nil {
+		d.mu.Unlock()
+		return 0, err
+	}
+	if _, already := d.dirty[blk]; already {
+		copy(d.data[blk], buf) // private since the last flush; overwrite in place
+	} else {
+		d.data[blk] = append(make([]byte, 0, d.blockSize), buf...) // copy-on-write
+		d.dirty[blk] = struct{}{}
+	}
+	d.stats.Writes++
+	d.stats.BytesWritten += int64(d.blockSize)
+	d.mu.Unlock()
+
+	return d.res.Acquire(clk.NowNS(), int64(d.model.DevWrite(d.blockSize))), nil
+}
+
+// Write is a synchronous Submit: it waits (advances clk) for completion.
+// This is the pattern of a userspace O_DIRECT pwrite, which cannot overlap
+// commands. The write is still volatile until Flush.
+func (d *Device) Write(clk *vclock.Clock, blk int, buf []byte) error {
+	done, err := d.Submit(clk, blk, buf)
+	if err != nil {
+		return err
+	}
+	clk.AdvanceTo(done)
+	return nil
+}
+
+// Flush issues a FLUSH command: a full barrier across the queue pairs whose
+// cost grows with the amount of unflushed data, after which all previously
+// submitted writes are durable. It advances clk to completion.
+func (d *Device) Flush(clk *vclock.Clock) error {
+	d.mu.Lock()
+	if d.failAll != nil {
+		err := d.failAll
+		d.mu.Unlock()
+		return err
+	}
+	dirtyBytes := len(d.dirty) * d.blockSize
+	for blk := range d.dirty {
+		d.persist[blk] = d.data[blk] // share; next write copies-on-write
+	}
+	d.dirty = make(map[int]struct{})
+	d.stats.Flushes++
+	d.mu.Unlock()
+
+	done := d.res.AcquireSerial(clk.NowNS(), int64(d.model.DevFlush(dirtyBytes)))
+	clk.AdvanceTo(done)
+	return nil
+}
+
+// DirtyBlocks reports how many blocks sit in the volatile write cache.
+func (d *Device) DirtyBlocks() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.dirty)
+}
+
+// Stats returns a snapshot of command counters.
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// ResourceStats exposes queue statistics (utilization, backlog).
+func (d *Device) ResourceStats() vclock.ResourceStats { return d.res.Stats() }
+
+// ResetStats clears command counters and queue occupancy. Benchmarks call
+// it after warmup.
+func (d *Device) ResetStats() {
+	d.mu.Lock()
+	d.stats = Stats{}
+	d.mu.Unlock()
+	d.res.Reset()
+}
+
+// Crash simulates power loss: the device reverts to its durable contents
+// plus a pseudo-random keepFraction of the unflushed writes (chosen by
+// seed), modeling arbitrary write-cache retention and reordering. The
+// write cache is emptied. keepFraction is clamped to [0,1].
+func (d *Device) Crash(keepFraction float64, seed int64) {
+	if keepFraction < 0 {
+		keepFraction = 0
+	}
+	if keepFraction > 1 {
+		keepFraction = 1
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	rng := rand.New(rand.NewSource(seed))
+	blks := make([]int, 0, len(d.dirty))
+	for blk := range d.dirty {
+		blks = append(blks, blk)
+	}
+	sort.Ints(blks) // map order is random; sort so a seed fully determines the outcome
+	for _, blk := range blks {
+		if rng.Float64() < keepFraction {
+			// This unflushed write survives the power cut.
+			d.persist[blk] = d.data[blk]
+		}
+	}
+	d.data = make(map[int][]byte, len(d.persist))
+	for blk, b := range d.persist {
+		d.data[blk] = b // shared until the next write to blk copies-on-write
+	}
+	d.dirty = make(map[int]struct{})
+	d.res.Reset()
+}
+
+// InjectReadError makes reads of blk fail with ErrIO until cleared.
+func (d *Device) InjectReadError(blk int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.readErr == nil {
+		d.readErr = make(map[int]error)
+	}
+	d.readErr[blk] = ErrIO
+}
+
+// InjectWriteError makes writes of blk fail with ErrIO until cleared.
+func (d *Device) InjectWriteError(blk int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.writeErr == nil {
+		d.writeErr = make(map[int]error)
+	}
+	d.writeErr[blk] = ErrIO
+}
+
+// FailAll makes every subsequent command fail with ErrIO (a died device).
+func (d *Device) FailAll() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failAll = ErrIO
+}
+
+// ClearFaults removes all injected failures.
+func (d *Device) ClearFaults() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.readErr, d.writeErr, d.failAll = nil, nil, nil
+}
+
+// checkLocked validates blk and applies injected faults. Caller holds d.mu.
+func (d *Device) checkLocked(blk int, errs map[int]error) error {
+	if d.failAll != nil {
+		return d.failAll
+	}
+	if blk < 0 || blk >= d.blocks {
+		return fmt.Errorf("%w: block %d of %d", ErrOutOfRange, blk, d.blocks)
+	}
+	if err, ok := errs[blk]; ok {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package buganalysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTotalsMatchPaper(t *testing.T) {
+	s := Compute()
+	// The table sums to 74 analyzed low-level bugs.
+	if s.Total != 74 {
+		t.Fatalf("total = %d, want 74", s.Total)
+	}
+	if s.MemoryBugs != 50 {
+		t.Fatalf("memory bugs = %d, want 50", s.MemoryBugs)
+	}
+}
+
+func TestDerivedPercentagesMatchPaper(t *testing.T) {
+	s := Compute()
+	close := func(got, want, tol float64) bool { return math.Abs(got-want) <= tol }
+	if !close(s.MemoryPct, 68, 1) {
+		t.Errorf("memory%% = %.1f, paper says 68%%", s.MemoryPct)
+	}
+	if !close(s.LeakWithinMemPct, 50, 1) {
+		t.Errorf("leak-within-memory%% = %.1f, paper says 50%%", s.LeakWithinMemPct)
+	}
+	if !close(s.RustPreventPct, 93, 1.5) {
+		t.Errorf("rust-preventable%% = %.1f, paper says 93%%", s.RustPreventPct)
+	}
+	if !close(s.OopsPct, 26, 1.5) {
+		t.Errorf("oops%% = %.1f, paper says 26%%", s.OopsPct)
+	}
+	if !close(s.LeakPct, 34, 1.5) {
+		t.Errorf("leak%% = %.1f, paper says 34%%", s.LeakPct)
+	}
+}
+
+func TestOnlyDeadlocksEscapeRust(t *testing.T) {
+	for _, b := range Table1 {
+		if !b.RustPrevents && b.Name != "Deadlock" {
+			t.Errorf("class %q marked not-Rust-preventable; paper says only deadlocks remain", b.Name)
+		}
+	}
+}
+
+func TestRenderTables(t *testing.T) {
+	t1 := RenderTable1()
+	for _, want := range []string{"Missing Free", "Reference Count Leak", "74", "93%"} {
+		if !strings.Contains(t1, want) {
+			t.Errorf("Table 1 output missing %q", want)
+		}
+	}
+	t2 := RenderTable2()
+	for _, want := range []string{"VFS", "FUSE", "eBPF", "Bento"} {
+		if !strings.Contains(t2, want) {
+			t.Errorf("Table 2 output missing %q", want)
+		}
+	}
+	// Bento is the only row with all three properties plus upgrade.
+	for _, line := range strings.Split(t2, "\n") {
+		if !strings.HasPrefix(line, "Bento") {
+			continue
+		}
+		if strings.Count(line, "yes") != 4 || strings.Contains(line, " no") {
+			t.Errorf("Bento row wrong: %q", line)
+		}
+	}
+}

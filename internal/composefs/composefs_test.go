@@ -1,0 +1,168 @@
+package composefs_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"bento/internal/bentoks"
+	"bento/internal/blockdev"
+	"bento/internal/composefs"
+	"bento/internal/core"
+	"bento/internal/costmodel"
+	"bento/internal/fsapi"
+	"bento/internal/kernel"
+	"bento/internal/vclock"
+	"bento/internal/xv6/bentoimpl"
+	"bento/internal/xv6/layout"
+)
+
+// mountOverlay builds a lower xv6 with base files, an empty upper xv6,
+// and mounts the overlay of the two.
+func mountOverlay(t *testing.T) (*kernel.Kernel, *kernel.Mount, *kernel.Task) {
+	t.Helper()
+	model := costmodel.Fast()
+	k := kernel.New(model)
+	task := k.NewTask("setup")
+
+	mkxv6 := func(name string) *bentoimpl.FS {
+		dev := blockdev.MustNew(blockdev.Config{Blocks: 4096, Model: model})
+		if _, err := layout.Mkfs(vclock.NewClock(), dev, 256); err != nil {
+			t.Fatal(err)
+		}
+		fs := bentoimpl.New(bentoimpl.Config{})
+		bc := kernel.NewBufferCache(dev, model, 0)
+		// Direct init with a kernel-services capability (each layer has
+		// its own device, exactly like stacked mounts).
+		if err := fs.Init(task, bentoks.NewSuperBlock(bc, nil)); err != nil {
+			t.Fatal(err)
+		}
+		return fs
+	}
+	lower := mkxv6("lower")
+	// Seed the lower layer.
+	base, err := lower.Create(task, fsapi.RootIno, "base.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lower.Write(task, base.Ino, 0, []byte("from the lower layer")); err != nil {
+		t.Fatal(err)
+	}
+	ro, err := lower.Create(task, fsapi.RootIno, "will-delete")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ro
+	upper := mkxv6("upper")
+
+	ov := composefs.New(upper, lower)
+	if err := core.Register(k, "overlay", func() core.FileSystem { return ov }); err != nil {
+		t.Fatal(err)
+	}
+	dev := blockdev.MustNew(blockdev.Config{Blocks: 64, Model: model})
+	m, err := k.Mount(task, "overlay", "/", dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, m, task
+}
+
+func TestOverlayReadsLowerLayer(t *testing.T) {
+	_, m, task := mountOverlay(t)
+	got, err := m.ReadFile(task, "/base.txt")
+	if err != nil || string(got) != "from the lower layer" {
+		t.Fatalf("lower read: %q %v", got, err)
+	}
+}
+
+func TestOverlayWritesGoUpper(t *testing.T) {
+	_, m, task := mountOverlay(t)
+	if err := m.WriteFile(task, "/new.txt", []byte("upper only")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadFile(task, "/new.txt")
+	if err != nil || string(got) != "upper only" {
+		t.Fatalf("upper read: %q %v", got, err)
+	}
+}
+
+func TestOverlayCopyUpOnWrite(t *testing.T) {
+	_, m, task := mountOverlay(t)
+	f, err := m.Open(task, "/base.txt", fsapi.ORdwr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.PWrite(task, []byte("FROM"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.FSync(task); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(task, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadFile(task, "/base.txt")
+	if err != nil || string(got) != "FROM the lower layer" {
+		t.Fatalf("after copy-up: %q %v", got, err)
+	}
+}
+
+func TestOverlayWhiteout(t *testing.T) {
+	_, m, task := mountOverlay(t)
+	if err := m.Unlink(task, "/will-delete"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Stat(task, "/will-delete"); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatalf("whiteout not applied: %v", err)
+	}
+	// The merged listing must hide both the deleted file and whiteout
+	// records.
+	ents, err := m.ReadDir(task, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.Name == "will-delete" || len(e.Name) > 4 && e.Name[:4] == ".wh." {
+			t.Fatalf("listing leaks %q", e.Name)
+		}
+	}
+}
+
+func TestOverlayMergedListing(t *testing.T) {
+	_, m, task := mountOverlay(t)
+	if err := m.WriteFile(task, "/upper-file", nil); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := m.ReadDir(task, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, e := range ents {
+		names[e.Name] = true
+	}
+	for _, want := range []string{"base.txt", "will-delete", "upper-file"} {
+		if !names[want] {
+			t.Fatalf("merged listing missing %q: %v", want, names)
+		}
+	}
+}
+
+func TestOverlayStacksWithoutVFS(t *testing.T) {
+	// The §3.4.1 point: stacking happens at the file-operations API.
+	// Mount an overlay-of-overlay and verify it still works.
+	_, m, task := mountOverlay(t)
+	b := m.FS().(*core.BentoFS)
+	if _, ok := b.Inner().(*composefs.Overlay); !ok {
+		t.Fatalf("inner is %T", b.Inner())
+	}
+	for i := 0; i < 5; i++ {
+		p := fmt.Sprintf("/stack%d", i)
+		if err := m.WriteFile(task, p, []byte(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Sync(task); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,377 @@
+// Package core is the Go analogue of BentoFS: the thin layer the paper
+// interposes between the Linux VFS and file systems written against the
+// safe file-operations API (paper §4.3–§4.4).
+//
+// The file-operations API below follows the FUSE low-level API, augmented
+// with a bentoks.SuperBlock capability for block I/O — exactly the
+// paper's design. BentoFS implements the simulated kernel's VFS interface
+// once, translating every VFS call into file-operations calls under the
+// "ownership model": no ownership of kernel data structures ever crosses
+// the boundary; the file system only receives borrowed buffers and
+// capability types it cannot forge.
+//
+// BentoFS also implements the batched ->writepages write-back path it
+// inherits from the FUSE kernel module, which the paper credits for the
+// Bento xv6 beating the C baseline on large sequential writes, and the
+// §4.8 online-upgrade protocol (quiesce, transfer state, swap) which the
+// paper sketches as future work.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"bento/internal/bentoks"
+	"bento/internal/blockdev"
+	"bento/internal/fsapi"
+	"bento/internal/kernel"
+)
+
+// FileSystem is the Bento file-operations API. File systems implement it
+// in "safe" style: all kernel access flows through the SuperBlock
+// capability passed to Init, all buffers are borrowed via bentoks
+// wrappers, and nothing the kernel owns is retained across calls.
+type FileSystem interface {
+	// BentoName identifies the implementation (module name).
+	BentoName() string
+	// Init mounts the file system. sb is the capability granting block
+	// I/O on the backing device; it is the only route to the hardware.
+	Init(t *kernel.Task, disk bentoks.Disk) error
+	// Destroy unmounts, flushing all state.
+	Destroy(t *kernel.Task) error
+	// StatFS reports usage.
+	StatFS(t *kernel.Task) (fsapi.FSStat, error)
+	// Lookup resolves name under parent.
+	Lookup(t *kernel.Task, parent fsapi.Ino, name string) (fsapi.Stat, error)
+	// GetAttr returns attributes for ino.
+	GetAttr(t *kernel.Task, ino fsapi.Ino) (fsapi.Stat, error)
+	// SetAttr truncates/extends ino to size (the only attribute the
+	// simulation models).
+	SetAttr(t *kernel.Task, ino fsapi.Ino, size int64) error
+	// Create makes a regular file.
+	Create(t *kernel.Task, parent fsapi.Ino, name string) (fsapi.Stat, error)
+	// Mkdir makes a directory.
+	Mkdir(t *kernel.Task, parent fsapi.Ino, name string) (fsapi.Stat, error)
+	// Unlink removes a file link.
+	Unlink(t *kernel.Task, parent fsapi.Ino, name string) error
+	// Rmdir removes an empty directory.
+	Rmdir(t *kernel.Task, parent fsapi.Ino, name string) error
+	// Rename moves oldName in oldParent to newName in newParent.
+	Rename(t *kernel.Task, oldParent fsapi.Ino, oldName string, newParent fsapi.Ino, newName string) error
+	// Link adds a hard link to ino as parent/name.
+	Link(t *kernel.Task, ino fsapi.Ino, parent fsapi.Ino, name string) (fsapi.Stat, error)
+	// Open acquires a reference to ino for an open file description.
+	Open(t *kernel.Task, ino fsapi.Ino) error
+	// Release drops the open reference.
+	Release(t *kernel.Task, ino fsapi.Ino) error
+	// Read fills buf from ino at off, returning bytes read (short reads
+	// at EOF).
+	Read(t *kernel.Task, ino fsapi.Ino, off int64, buf []byte) (int, error)
+	// Write stores data to ino at off, extending the file as needed.
+	Write(t *kernel.Task, ino fsapi.Ino, off int64, data []byte) (int, error)
+	// Fsync makes ino durable.
+	Fsync(t *kernel.Task, ino fsapi.Ino, dataOnly bool) error
+	// ReadDir lists a directory.
+	ReadDir(t *kernel.Task, dir fsapi.Ino) ([]fsapi.DirEntry, error)
+	// SyncFS makes the whole file system durable.
+	SyncFS(t *kernel.Task) error
+}
+
+// Upgradable is the §4.8 online-upgrade contract. PrepareTransfer shuts
+// the instance down (flushing what must be durable) and serializes the
+// in-memory state worth keeping; RestoreTransfer rebuilds that state in
+// the replacement instance.
+type Upgradable interface {
+	PrepareTransfer(t *kernel.Task) ([]byte, error)
+	RestoreTransfer(t *kernel.Task, state []byte) error
+}
+
+// fsType adapts a Bento file-system factory to the kernel's
+// register_filesystem interface.
+type fsType struct {
+	name    string
+	factory func() FileSystem
+}
+
+// Name implements kernel.FileSystemType.
+func (ft fsType) Name() string { return ft.name }
+
+// Mount implements kernel.FileSystemType: it mints the SuperBlock
+// capability over the device, initializes the Bento file system, and
+// interposes the BentoFS shim between it and the VFS.
+func (ft fsType) Mount(t *kernel.Task, dev *blockdev.Device) (kernel.FileSystem, error) {
+	fs := ft.factory()
+	bc := kernel.NewBufferCache(dev, t.Model(), 0)
+	sb := bentoks.NewSuperBlock(bc, bentoks.NewChecker())
+	if err := fs.Init(t, sb); err != nil {
+		return nil, fmt.Errorf("bentofs: init %q: %w", ft.name, err)
+	}
+	return &BentoFS{name: ft.name, fs: fs, sb: sb}, nil
+}
+
+// Register installs a Bento file-system module into the kernel under
+// name. Like inserting a .ko built from safe Rust: afterwards the type is
+// mountable with kernel.Mount.
+func Register(k *kernel.Kernel, name string, factory func() FileSystem) error {
+	return k.Register(fsType{name: name, factory: factory})
+}
+
+// BentoFS is the interposition layer instance for one mount. It
+// implements kernel.FileSystem (calls *into* the file system, paper
+// Figure 1 ①) while the SuperBlock it minted carries calls *out of* the
+// file system into kernel services (Figure 1 ②).
+//
+// All operations hold a read-lock so that Upgrade can quiesce the file
+// system by taking the write lock — the §4.8 mechanism.
+type BentoFS struct {
+	name string
+	sb   *bentoks.SuperBlock
+
+	mu sync.RWMutex // write-held only during upgrade
+	fs FileSystem
+
+	generation atomic.Int64 // bumped per upgrade
+	ops        atomic.Int64 // operations served (all generations)
+}
+
+var (
+	_ kernel.FileSystem  = (*BentoFS)(nil)
+	_ kernel.BatchWriter = (*BentoFS)(nil)
+)
+
+// enter charges the translation cost and takes the quiesce read-lock.
+func (b *BentoFS) enter(t *kernel.Task) func() {
+	t.Charge(t.Model().BentoDispatch)
+	b.mu.RLock()
+	b.ops.Add(1)
+	return b.mu.RUnlock
+}
+
+// Generation reports how many upgrades this mount has seen.
+func (b *BentoFS) Generation() int64 { return b.generation.Load() }
+
+// Ops reports operations served across all generations.
+func (b *BentoFS) Ops() int64 { return b.ops.Load() }
+
+// SuperBlock exposes the capability (tests, fsck, fault injection).
+func (b *BentoFS) SuperBlock() *bentoks.SuperBlock { return b.sb }
+
+// Inner returns the current file-system instance.
+func (b *BentoFS) Inner() FileSystem {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.fs
+}
+
+// Upgrade swaps in a replacement file-system implementation while the
+// mount stays live (paper §4.8): in-flight operations drain, the old
+// instance serializes its in-memory state, the new instance restores it,
+// and subsequent operations run on the new code. Open files and the page
+// cache above the shim survive untouched, so applications never notice
+// beyond a pause.
+func (b *BentoFS) Upgrade(t *kernel.Task, next FileSystem) error {
+	b.mu.Lock() // quiesce: waits for every in-flight operation
+	defer b.mu.Unlock()
+
+	old := b.fs
+	var state []byte
+	if up, ok := old.(Upgradable); ok {
+		s, err := up.PrepareTransfer(t)
+		if err != nil {
+			return fmt.Errorf("bentofs: prepare transfer from %q: %w", old.BentoName(), err)
+		}
+		state = s
+	} else {
+		// No transfer support: fall back to a full flush so the new
+		// instance can rebuild from disk.
+		if err := old.SyncFS(t); err != nil {
+			return fmt.Errorf("bentofs: quiesce sync of %q: %w", old.BentoName(), err)
+		}
+		if err := old.Destroy(t); err != nil {
+			return fmt.Errorf("bentofs: destroy %q: %w", old.BentoName(), err)
+		}
+	}
+
+	if err := next.Init(t, b.sb); err != nil {
+		return fmt.Errorf("bentofs: init replacement %q: %w", next.BentoName(), err)
+	}
+	if state != nil {
+		up, ok := next.(Upgradable)
+		if !ok {
+			return fmt.Errorf("bentofs: replacement %q cannot restore transferred state: %w",
+				next.BentoName(), fsapi.ErrNotSupported)
+		}
+		// Transferring state costs one copy of it.
+		t.Charge(t.Model().Copy(len(state)))
+		if err := up.RestoreTransfer(t, state); err != nil {
+			return fmt.Errorf("bentofs: restore transfer into %q: %w", next.BentoName(), err)
+		}
+	}
+	b.fs = next
+	b.generation.Add(1)
+	return nil
+}
+
+// --- kernel.FileSystem: calls into the file system (Figure 1 ①) ---
+
+// Root implements kernel.FileSystem. The file-operations API fixes the
+// root at fsapi.RootIno, as FUSE fixes FUSE_ROOT_ID.
+func (b *BentoFS) Root() fsapi.Ino { return fsapi.RootIno }
+
+// Lookup implements kernel.FileSystem.
+func (b *BentoFS) Lookup(t *kernel.Task, dir fsapi.Ino, name string) (fsapi.Stat, error) {
+	defer b.enter(t)()
+	return b.fs.Lookup(t, dir, name)
+}
+
+// GetAttr implements kernel.FileSystem.
+func (b *BentoFS) GetAttr(t *kernel.Task, ino fsapi.Ino) (fsapi.Stat, error) {
+	defer b.enter(t)()
+	return b.fs.GetAttr(t, ino)
+}
+
+// SetSize implements kernel.FileSystem.
+func (b *BentoFS) SetSize(t *kernel.Task, ino fsapi.Ino, size int64) error {
+	defer b.enter(t)()
+	return b.fs.SetAttr(t, ino, size)
+}
+
+// Create implements kernel.FileSystem.
+func (b *BentoFS) Create(t *kernel.Task, dir fsapi.Ino, name string) (fsapi.Stat, error) {
+	defer b.enter(t)()
+	return b.fs.Create(t, dir, name)
+}
+
+// Mkdir implements kernel.FileSystem.
+func (b *BentoFS) Mkdir(t *kernel.Task, dir fsapi.Ino, name string) (fsapi.Stat, error) {
+	defer b.enter(t)()
+	return b.fs.Mkdir(t, dir, name)
+}
+
+// Unlink implements kernel.FileSystem.
+func (b *BentoFS) Unlink(t *kernel.Task, dir fsapi.Ino, name string) error {
+	defer b.enter(t)()
+	return b.fs.Unlink(t, dir, name)
+}
+
+// Rmdir implements kernel.FileSystem.
+func (b *BentoFS) Rmdir(t *kernel.Task, dir fsapi.Ino, name string) error {
+	defer b.enter(t)()
+	return b.fs.Rmdir(t, dir, name)
+}
+
+// Rename implements kernel.FileSystem.
+func (b *BentoFS) Rename(t *kernel.Task, odir fsapi.Ino, oname string, ndir fsapi.Ino, nname string) error {
+	defer b.enter(t)()
+	return b.fs.Rename(t, odir, oname, ndir, nname)
+}
+
+// Link implements kernel.FileSystem.
+func (b *BentoFS) Link(t *kernel.Task, ino fsapi.Ino, dir fsapi.Ino, name string) (fsapi.Stat, error) {
+	defer b.enter(t)()
+	return b.fs.Link(t, ino, dir, name)
+}
+
+// ReadDir implements kernel.FileSystem.
+func (b *BentoFS) ReadDir(t *kernel.Task, dir fsapi.Ino) ([]fsapi.DirEntry, error) {
+	defer b.enter(t)()
+	return b.fs.ReadDir(t, dir)
+}
+
+// Open implements kernel.FileSystem.
+func (b *BentoFS) Open(t *kernel.Task, ino fsapi.Ino) error {
+	defer b.enter(t)()
+	return b.fs.Open(t, ino)
+}
+
+// Release implements kernel.FileSystem.
+func (b *BentoFS) Release(t *kernel.Task, ino fsapi.Ino) error {
+	defer b.enter(t)()
+	return b.fs.Release(t, ino)
+}
+
+// ReadPage implements kernel.FileSystem by translating the page-cache
+// fill into a file-operations Read.
+func (b *BentoFS) ReadPage(t *kernel.Task, ino fsapi.Ino, pg int64, buf []byte) error {
+	defer b.enter(t)()
+	n, err := b.fs.Read(t, ino, pg*fsapi.PageSize, buf)
+	if err != nil {
+		return err
+	}
+	clear(buf[n:]) // zero-fill the tail beyond EOF
+	return nil
+}
+
+// WritePage implements kernel.FileSystem (single-page write-back).
+func (b *BentoFS) WritePage(t *kernel.Task, ino fsapi.Ino, pg int64, buf []byte, newSize int64) error {
+	return b.WritePages(t, ino, pg, [][]byte{buf}, newSize)
+}
+
+// WritePages implements kernel.BatchWriter: the batched ->writepages
+// write-back BentoFS inherits from the FUSE kernel module. The contiguous
+// run of dirty pages becomes a single file-operations Write, so the file
+// system below wraps the whole run in one transaction.
+func (b *BentoFS) WritePages(t *kernel.Task, ino fsapi.Ino, pg int64, pages [][]byte, newSize int64) error {
+	defer b.enter(t)()
+	off := pg * fsapi.PageSize
+	total := int64(len(pages)) * fsapi.PageSize
+	if off >= newSize {
+		return nil // entire run beyond EOF (racing truncate); nothing to do
+	}
+	if off+total > newSize {
+		total = newSize - off
+	}
+	data := make([]byte, total)
+	var copied int64
+	for _, p := range pages {
+		if copied >= total {
+			break
+		}
+		n := int64(len(p))
+		if copied+n > total {
+			n = total - copied
+		}
+		copy(data[copied:], p[:n])
+		copied += n
+	}
+	n, err := b.fs.Write(t, ino, off, data)
+	if err != nil {
+		return err
+	}
+	if int64(n) != total {
+		return fmt.Errorf("bentofs: short writeback %d of %d: %w", n, total, fsapi.ErrIO)
+	}
+	return nil
+}
+
+// Fsync implements kernel.FileSystem.
+func (b *BentoFS) Fsync(t *kernel.Task, ino fsapi.Ino, dataOnly bool) error {
+	defer b.enter(t)()
+	return b.fs.Fsync(t, ino, dataOnly)
+}
+
+// Sync implements kernel.FileSystem.
+func (b *BentoFS) Sync(t *kernel.Task) error {
+	defer b.enter(t)()
+	return b.fs.SyncFS(t)
+}
+
+// StatFS implements kernel.FileSystem.
+func (b *BentoFS) StatFS(t *kernel.Task) (fsapi.FSStat, error) {
+	defer b.enter(t)()
+	return b.fs.StatFS(t)
+}
+
+// Unmount implements kernel.FileSystem: destroy the module instance and
+// report any buffer leaks the ownership checker caught.
+func (b *BentoFS) Unmount(t *kernel.Task) error {
+	defer b.enter(t)()
+	if err := b.fs.Destroy(t); err != nil {
+		return err
+	}
+	if n := b.sb.Checker().CheckLeaks(); n > 0 {
+		return fmt.Errorf("bentofs: %d buffer(s) leaked by %q: %w", n, b.fs.BentoName(), fsapi.ErrInvalid)
+	}
+	return nil
+}

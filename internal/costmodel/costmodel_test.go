@@ -1,0 +1,133 @@
+package costmodel
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDefaultModelSane(t *testing.T) {
+	m := Default()
+	if m.DevChannels < 1 {
+		t.Fatal("device must have at least one channel")
+	}
+	if m.DevFlushBase <= m.DevWriteBase {
+		t.Fatal("FLUSH must cost more than a cached write; the FUSE results depend on it")
+	}
+	if m.DevReadBase <= 0 || m.DevWriteBase <= 0 {
+		t.Fatal("device service times must be positive")
+	}
+	if m.BentoDispatch >= m.VFSDispatch {
+		t.Fatal("Bento's translation layer should be thinner than full VFS dispatch")
+	}
+}
+
+func TestCopyRoundsUpToPages(t *testing.T) {
+	m := Default()
+	if got, want := m.Copy(1), m.CopyPer4K; got != want {
+		t.Fatalf("Copy(1) = %v, want one page (%v)", got, want)
+	}
+	if got, want := m.Copy(4096), m.CopyPer4K; got != want {
+		t.Fatalf("Copy(4096) = %v, want one page (%v)", got, want)
+	}
+	if got, want := m.Copy(4097), 2*m.CopyPer4K; got != want {
+		t.Fatalf("Copy(4097) = %v, want two pages (%v)", got, want)
+	}
+	if got := m.Copy(0); got != 0 {
+		t.Fatalf("Copy(0) = %v, want 0", got)
+	}
+}
+
+func TestDevReadWriteScaleWithSize(t *testing.T) {
+	m := Default()
+	small := m.DevRead(4096)
+	large := m.DevRead(1 << 20)
+	if large <= small {
+		t.Fatalf("1MB read (%v) should cost more than 4K read (%v)", large, small)
+	}
+	// Per-byte device throughput must exceed copy throughput, or caching
+	// would never help.
+	if m.DevRead4K < m.CopyPer4K {
+		t.Fatal("device per-page transfer should dominate memcpy per page")
+	}
+	if m.DevWrite(0) != m.DevWriteBase {
+		t.Fatal("zero-byte write should cost just the base")
+	}
+}
+
+func TestDevFlushGrowsWithDirty(t *testing.T) {
+	m := Default()
+	empty := m.DevFlush(0)
+	full := m.DevFlush(1 << 20)
+	if empty != m.DevFlushBase {
+		t.Fatalf("flush with empty cache = %v, want base %v", empty, m.DevFlushBase)
+	}
+	if full <= empty {
+		t.Fatal("flush cost must grow with dirty bytes")
+	}
+}
+
+func TestFastModelIsFast(t *testing.T) {
+	f, d := Fast(), Default()
+	if f.DevFlush(1<<20) >= d.DevFlush(1<<20) {
+		t.Fatal("Fast model should be much cheaper than Default")
+	}
+	if f.DevChannels < 1 || f.DaemonThreads < 1 {
+		t.Fatal("Fast model must keep valid resource counts")
+	}
+}
+
+func TestCostsMonotoneInSizeProperty(t *testing.T) {
+	m := Default()
+	f := func(a, b uint32) bool {
+		x, y := int(a%(64<<20)), int(b%(64<<20))
+		if x > y {
+			x, y = y, x
+		}
+		return m.Copy(x) <= m.Copy(y) &&
+			m.DevRead(x) <= m.DevRead(y) &&
+			m.DevWrite(x) <= m.DevWrite(y) &&
+			m.DevFlush(x) <= m.DevFlush(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeSizesCostNothingExtra(t *testing.T) {
+	m := Default()
+	if m.Copy(-5) != 0 {
+		t.Fatal("negative copy size should cost zero")
+	}
+	if m.DevRead(-5) != m.DevReadBase {
+		t.Fatal("negative read size should cost only the base")
+	}
+	if m.DevFlush(-5) != m.DevFlushBase {
+		t.Fatal("negative dirty size should cost only the base")
+	}
+}
+
+func TestPagesHelper(t *testing.T) {
+	cases := []struct {
+		bytes int
+		want  int64
+	}{{0, 0}, {-1, 0}, {1, 1}, {4095, 1}, {4096, 1}, {4097, 2}, {8192, 2}, {12288, 3}}
+	for _, c := range cases {
+		if got := pages(c.bytes); got != c.want {
+			t.Errorf("pages(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestFlushDominatesWritePathShape(t *testing.T) {
+	// The paper's FUSE create result (24 ops/s vs ~1000 ops/s in-kernel)
+	// requires a FLUSH to cost tens of cached-write times.
+	m := Default()
+	if m.DevFlushBase < 50*m.DevWriteBase {
+		t.Fatalf("flush (%v) should be >= 50x a cached write (%v) to reproduce the paper's FUSE penalties",
+			m.DevFlushBase, m.DevWriteBase)
+	}
+	if m.DevFlushBase < time.Millisecond {
+		t.Fatal("consumer NVMe flush should be in the millisecond range")
+	}
+}

@@ -1,0 +1,246 @@
+// Package ext4 is the commercial-grade comparator for Table 6: a native
+// kernel file system in the mold of ext4 with data=journal, as the paper
+// mounts it ("so it logs file data in the journal like the xv6 file
+// system").
+//
+// It shares the on-disk record formats with xv6 (inodes, dirents) but
+// differs where ext4 differs in ways that matter to the evaluation:
+//
+//   - a JBD2-style journal: operations join a running compound
+//     transaction via handles; commits happen on fsync/sync or when the
+//     transaction grows past a threshold — not per operation as xv6's
+//     log does. Journal writes are submitted in batches that exploit the
+//     device queues instead of xv6's serial bwrite loop, and durability
+//     barriers (FLUSH) are paid once per compound commit.
+//   - an in-memory directory index (the htree stand-in) for O(1) lookup.
+//   - the batched ->writepages write-back path.
+//
+// These are exactly the mechanisms that let ext4 beat the xv6 variants by
+// small factors on the paper's macrobenchmarks.
+package ext4
+
+import (
+	"fmt"
+	"sync"
+
+	"bento/internal/blockdev"
+	"bento/internal/fsapi"
+	"bento/internal/kernel"
+	"bento/internal/xv6/layout"
+)
+
+// CommitThreshold is the journal block count that triggers a background
+// commit (jbd2's do-commit-when-transaction-is-large behaviour).
+const CommitThreshold = 384
+
+// JournalSize is the journal data region in blocks; one compound
+// transaction must fit.
+const JournalSize = 1020
+
+// Type registers ext4 with the kernel.
+type Type struct {
+	TypeName string
+	Cfg      Config
+}
+
+// Config parameterizes the file system.
+type Config struct {
+	// NoBarriers drops the FLUSH in commits (like mounting with
+	// barrier=0); benchmarks comparing pure software paths may set it.
+	NoBarriers bool
+}
+
+// Name implements kernel.FileSystemType.
+func (tt Type) Name() string {
+	if tt.TypeName == "" {
+		return "ext4"
+	}
+	return tt.TypeName
+}
+
+// Superblock geometry (ext4's own, with the larger journal).
+type superblock struct {
+	size         uint32
+	nInodes      uint32
+	journalStart uint32 // header block; data follows
+	inodeStart   uint32
+	bmapStart    uint32
+	dataStart    uint32
+}
+
+const ext4Magic = 0xEF53F00D
+
+// Mkfs formats dev with an ext4 file system (root directory only).
+func Mkfs(t *kernel.Task, dev *blockdev.Device, ninodes uint32) error {
+	size := uint32(dev.Blocks())
+	sb, err := geometry(size, ninodes)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, layout.BlockSize)
+	le := func(off int, v uint32) {
+		buf[off] = byte(v)
+		buf[off+1] = byte(v >> 8)
+		buf[off+2] = byte(v >> 16)
+		buf[off+3] = byte(v >> 24)
+	}
+	le(0, ext4Magic)
+	le(4, sb.size)
+	le(8, sb.nInodes)
+	le(12, sb.journalStart)
+	le(16, sb.inodeStart)
+	le(20, sb.bmapStart)
+	le(24, sb.dataStart)
+	if err := dev.Write(t.Clk, 1, buf); err != nil {
+		return err
+	}
+	// Empty journal header.
+	clear(buf)
+	if err := dev.Write(t.Clk, int(sb.journalStart), buf); err != nil {
+		return err
+	}
+	// Zero inode table; install root.
+	clear(buf)
+	nInodeBlocks := (ninodes + layout.InodesPerBlock - 1) / layout.InodesPerBlock
+	for b := sb.inodeStart; b < sb.inodeStart+nInodeBlocks; b++ {
+		if err := dev.Write(t.Clk, int(b), buf); err != nil {
+			return err
+		}
+	}
+	rootData := sb.dataStart
+	root := layout.Dinode{Type: layout.TypeDir, Nlink: 2, Size: 2 * layout.DirentSize}
+	root.Addrs[0] = rootData
+	clear(buf)
+	root.Encode(buf[layout.InodeOffset(layout.RootIno):])
+	if err := dev.Write(t.Clk, int(sb.inodeStart+layout.RootIno/layout.InodesPerBlock), buf); err != nil {
+		return err
+	}
+	clear(buf)
+	if err := layout.EncodeDirent(layout.Dirent{Ino: layout.RootIno, Name: "."}, buf[0:]); err != nil {
+		return err
+	}
+	if err := layout.EncodeDirent(layout.Dirent{Ino: layout.RootIno, Name: ".."}, buf[layout.DirentSize:]); err != nil {
+		return err
+	}
+	if err := dev.Write(t.Clk, int(rootData), buf); err != nil {
+		return err
+	}
+	// Bitmap.
+	bmapBlocks := (sb.size + layout.BitsPerBlock - 1) / layout.BitsPerBlock
+	for i := uint32(0); i < bmapBlocks; i++ {
+		clear(buf)
+		base := i * layout.BitsPerBlock
+		for bit := uint32(0); bit < layout.BitsPerBlock && base+bit < sb.size; bit++ {
+			if base+bit <= rootData {
+				buf[bit/8] |= 1 << (bit % 8)
+			}
+		}
+		if err := dev.Write(t.Clk, int(sb.bmapStart+i), buf); err != nil {
+			return err
+		}
+	}
+	return dev.Flush(t.Clk)
+}
+
+func geometry(size, ninodes uint32) (superblock, error) {
+	nInodeBlocks := (ninodes + layout.InodesPerBlock - 1) / layout.InodesPerBlock
+	bmapBlocks := (size + layout.BitsPerBlock - 1) / layout.BitsPerBlock
+	meta := 2 + (JournalSize + 1) + nInodeBlocks + bmapBlocks
+	if meta >= size {
+		return superblock{}, fmt.Errorf("ext4: device too small: %w", fsapi.ErrInvalid)
+	}
+	return superblock{
+		size:         size,
+		nInodes:      ninodes,
+		journalStart: 2,
+		inodeStart:   2 + JournalSize + 1,
+		bmapStart:    2 + JournalSize + 1 + nInodeBlocks,
+		dataStart:    meta,
+	}, nil
+}
+
+// Mount implements kernel.FileSystemType.
+func (tt Type) Mount(t *kernel.Task, dev *blockdev.Device) (kernel.FileSystem, error) {
+	fs := &FS{
+		cfg:    tt.Cfg,
+		bc:     kernel.NewBufferCache(dev, t.Model(), 8192),
+		dev:    dev,
+		inodes: make(map[uint32]*inode),
+		dirIdx: make(map[uint32]map[string]uint32),
+	}
+	buf := make([]byte, layout.BlockSize)
+	if err := dev.Read(t.Clk, 1, buf); err != nil {
+		return nil, err
+	}
+	rd := func(off int) uint32 {
+		return uint32(buf[off]) | uint32(buf[off+1])<<8 | uint32(buf[off+2])<<16 | uint32(buf[off+3])<<24
+	}
+	if rd(0) != ext4Magic {
+		return nil, fmt.Errorf("ext4: bad magic: %w", fsapi.ErrCorrupt)
+	}
+	fs.super = superblock{
+		size: rd(4), nInodes: rd(8), journalStart: rd(12),
+		inodeStart: rd(16), bmapStart: rd(20), dataStart: rd(24),
+	}
+	fs.jCond = sync.NewCond(&fs.jMu)
+	fs.inTxn = make(map[uint32]bool)
+	fs.blockRotor = fs.super.dataStart
+	fs.inodeRotor = 2
+	if err := fs.recover(t); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// inode is the in-core inode (shares the on-disk codec with xv6).
+type inode struct {
+	inum  uint32
+	ref   int
+	mu    sync.Mutex
+	valid bool
+	din   layout.Dinode
+}
+
+// FS is a mounted ext4 instance.
+type FS struct {
+	cfg   Config
+	bc    *kernel.BufferCache
+	dev   *blockdev.Device
+	super superblock
+
+	// journal (jbd2 stand-in).
+	jMu        sync.Mutex
+	jCond      *sync.Cond
+	handles    int      // open handles in the running transaction
+	txnBlocks  []uint32 // blocks joined to the running transaction
+	inTxn      map[uint32]bool
+	committing bool
+	commitReq  bool  // a waiter needs the running txn durable
+	commitSeq  int64 // transactions committed so far
+	commitEnd  int64 // virtual completion of the last commit
+	commits    int64
+
+	allocMu    sync.Mutex
+	blockRotor uint32
+	imu        sync.Mutex
+	inodeRotor uint32
+
+	itabMu sync.Mutex
+	inodes map[uint32]*inode
+
+	dirIdxMu sync.Mutex
+	dirIdx   map[uint32]map[string]uint32 // the htree stand-in
+}
+
+var (
+	_ kernel.FileSystem  = (*FS)(nil)
+	_ kernel.BatchWriter = (*FS)(nil)
+)
+
+// Commits reports compound commits (benchmark stat; compare with the xv6
+// log's per-operation commit count).
+func (fs *FS) Commits() int64 {
+	fs.jMu.Lock()
+	defer fs.jMu.Unlock()
+	return fs.commits
+}

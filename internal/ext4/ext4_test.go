@@ -1,0 +1,243 @@
+package ext4_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"bento/internal/blockdev"
+	"bento/internal/costmodel"
+	"bento/internal/ext4"
+	"bento/internal/fsapi"
+	"bento/internal/kernel"
+	"bento/internal/xv6/bentoimpl"
+	"bento/internal/xv6/layout"
+)
+
+func newExt4(t *testing.T, blocks int) (*kernel.Kernel, *kernel.Mount, *kernel.Task, *blockdev.Device) {
+	t.Helper()
+	model := costmodel.Fast()
+	k := kernel.New(model)
+	dev := blockdev.MustNew(blockdev.Config{Blocks: blocks, Model: model})
+	task := k.NewTask("mkfs")
+	if err := ext4.Mkfs(task, dev, 1024); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Register(ext4.Type{}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := k.Mount(task, "ext4", "/mnt", dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, m, task, dev
+}
+
+func TestExt4Basics(t *testing.T) {
+	_, m, task, _ := newExt4(t, 8192)
+	want := bytes.Repeat([]byte("jbd2"), 5000)
+	if err := m.WriteFile(task, "/f", want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadFile(task, "/f")
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("round trip: %v", err)
+	}
+	if err := m.Mkdir(task, "/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Rename(task, "/f", "/d/g"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Stat(task, "/f"); !errors.Is(err, fsapi.ErrNotExist) {
+		t.Fatalf("old name: %v", err)
+	}
+	got, err = m.ReadFile(task, "/d/g")
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("after rename: %v", err)
+	}
+}
+
+func TestExt4RemountSeesData(t *testing.T) {
+	k, m, task, dev := newExt4(t, 8192)
+	if err := m.WriteFile(task, "/persist", []byte("journal me")); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Unmount(task, "/mnt"); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := k.Mount(task, "ext4", "/again", dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m2.ReadFile(task, "/persist")
+	if err != nil || string(got) != "journal me" {
+		t.Fatalf("remount: %q %v", got, err)
+	}
+}
+
+func TestExt4CommitsAreBatched(t *testing.T) {
+	// Many metadata ops before any fsync must share few compound commits
+	// — the defining difference from xv6's per-op group commit.
+	_, m, task, _ := newExt4(t, 16384)
+	for i := 0; i < 100; i++ {
+		if err := m.WriteFile(task, fmt.Sprintf("/f%d", i), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs := m.FS().(*ext4.FS)
+	if c := fs.Commits(); c > 10 {
+		t.Fatalf("100 creates caused %d compound commits; jbd2 batching failed", c)
+	}
+	if err := m.Sync(task); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadFile(task, "/f42")
+	if err != nil || string(got) != "x" {
+		t.Fatalf("read back: %v", err)
+	}
+}
+
+func TestExt4CrashAfterFsync(t *testing.T) {
+	model := costmodel.Fast()
+	k := kernel.New(model)
+	dev := blockdev.MustNew(blockdev.Config{Blocks: 8192, Model: model})
+	task := k.NewTask("t")
+	if err := ext4.Mkfs(task, dev, 256); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Register(ext4.Type{}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := k.Mount(task, "ext4", "/mnt", dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.Open(task, "/x", fsapi.ORdwr|fsapi.OCreate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{7}, 3*layout.BlockSize)
+	if _, err := f.Write(task, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.FSync(task); err != nil {
+		t.Fatal(err)
+	}
+	dev.Crash(0.4, 123)
+
+	k2 := kernel.New(model)
+	if err := k2.Register(ext4.Type{}); err != nil {
+		t.Fatal(err)
+	}
+	t2 := k2.NewTask("r")
+	m2, err := k2.Mount(t2, "ext4", "/mnt", dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m2.ReadFile(t2, "/x")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("fsynced data lost after crash: %v", err)
+	}
+}
+
+func TestExt4ConcurrentFsyncsShareCommit(t *testing.T) {
+	k, m, _, _ := newExt4(t, 16384)
+	fs := m.FS().(*ext4.FS)
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			task := k.NewTask(fmt.Sprintf("w%d", w))
+			f, err := m.Open(task, fmt.Sprintf("/w%d", w), fsapi.OCreate|fsapi.OWronly)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if _, err := f.Write(task, bytes.Repeat([]byte{byte(w)}, 8192)); err != nil {
+				errCh <- err
+				return
+			}
+			if err := f.FSync(task); err != nil {
+				errCh <- err
+				return
+			}
+			errCh <- m.Close(task, f)
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c := fs.Commits(); c > 8 {
+		t.Fatalf("8 concurrent fsyncs caused %d commits; group commit failed", c)
+	}
+}
+
+func TestExt4IsBatchWriter(t *testing.T) {
+	_, m, _, _ := newExt4(t, 8192)
+	if _, ok := m.FS().(kernel.BatchWriter); !ok {
+		t.Fatal("ext4 must implement the batched writepages path")
+	}
+}
+
+func TestExt4FasterThanXv6OnBatchedMetadata(t *testing.T) {
+	// Table 6's shape in miniature: a create-heavy workload without
+	// fsyncs should cost ext4 far less virtual time than xv6 (compound
+	// commits vs per-op commits).
+	model := costmodel.Default()
+
+	run := func(mount func(k *kernel.Kernel, dev *blockdev.Device, task *kernel.Task) *kernel.Mount) int64 {
+		k := kernel.New(model)
+		dev := blockdev.MustNew(blockdev.Config{Blocks: 16384, Model: model})
+		task := k.NewTask("bench")
+		m := mount(k, dev, task)
+		start := task.Clk.NowNS()
+		for i := 0; i < 50; i++ {
+			if err := m.WriteFile(task, fmt.Sprintf("/f%d", i), bytes.Repeat([]byte("d"), 8192)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := m.Sync(task); err != nil {
+			t.Fatal(err)
+		}
+		return task.Clk.NowNS() - start
+	}
+
+	ext4Time := run(func(k *kernel.Kernel, dev *blockdev.Device, task *kernel.Task) *kernel.Mount {
+		if err := ext4.Mkfs(task, dev, 1024); err != nil {
+			t.Fatal(err)
+		}
+		if err := k.Register(ext4.Type{}); err != nil {
+			t.Fatal(err)
+		}
+		m, err := k.Mount(task, "ext4", "/mnt", dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	})
+	xv6Time := run(func(k *kernel.Kernel, dev *blockdev.Device, task *kernel.Task) *kernel.Mount {
+		if _, err := layout.Mkfs(task.Clk, dev, 1024); err != nil {
+			t.Fatal(err)
+		}
+		if err := bentoimpl.RegisterWith(k, "xv6", bentoimpl.Config{}); err != nil {
+			t.Fatal(err)
+		}
+		m, err := k.Mount(task, "xv6", "/mnt", dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	})
+	if ext4Time >= xv6Time {
+		t.Fatalf("ext4 (%d ns) should beat xv6 (%d ns) on batched metadata", ext4Time, xv6Time)
+	}
+}

@@ -1,0 +1,284 @@
+package ext4
+
+import (
+	"fmt"
+
+	"bento/internal/fsapi"
+	"bento/internal/kernel"
+	"bento/internal/xv6/layout"
+)
+
+// recover replays a committed-but-unchckpointed compound transaction.
+func (fs *FS) recover(t *kernel.Task) error {
+	hb, err := fs.bc.Get(t, int(fs.super.journalStart))
+	if err != nil {
+		return err
+	}
+	lh := decodeJHeader(hb.Data())
+	if lh.n > 0 {
+		var last int64
+		for i := uint32(0); i < lh.n; i++ {
+			src, err := fs.bc.Get(t, int(fs.super.journalStart+1+i))
+			if err != nil {
+				return err
+			}
+			dst, err := fs.bc.GetNoRead(t, int(lh.blocks[i]))
+			if err != nil {
+				return err
+			}
+			copy(dst.Data(), src.Data())
+			done, err := dst.SubmitWrite(t)
+			if err != nil {
+				return err
+			}
+			if done > last {
+				last = done
+			}
+			_ = src.Release()
+			_ = dst.Release()
+		}
+		t.Clk.AdvanceTo(last)
+		if !fs.cfg.NoBarriers {
+			if err := fs.dev.Flush(t.Clk); err != nil {
+				return err
+			}
+		}
+	}
+	clear(hb.Data())
+	if err := hb.WriteSync(t); err != nil {
+		return err
+	}
+	if err := hb.Release(); err != nil {
+		return err
+	}
+	if !fs.cfg.NoBarriers {
+		return fs.dev.Flush(t.Clk)
+	}
+	return nil
+}
+
+// jheader is the journal's commit record (same shape as the xv6 log
+// header but sized for the larger journal).
+type jheader struct {
+	n      uint32
+	blocks []uint32
+}
+
+func decodeJHeader(buf []byte) jheader {
+	rd := func(off int) uint32 {
+		return uint32(buf[off]) | uint32(buf[off+1])<<8 | uint32(buf[off+2])<<16 | uint32(buf[off+3])<<24
+	}
+	n := rd(0)
+	if n > JournalSize {
+		n = 0
+	}
+	h := jheader{n: n, blocks: make([]uint32, n)}
+	for i := uint32(0); i < n; i++ {
+		h.blocks[i] = rd(int(4 + 4*i))
+	}
+	return h
+}
+
+func encodeJHeader(h jheader, buf []byte) {
+	clear(buf)
+	wr := func(off int, v uint32) {
+		buf[off] = byte(v)
+		buf[off+1] = byte(v >> 8)
+		buf[off+2] = byte(v >> 16)
+		buf[off+3] = byte(v >> 24)
+	}
+	wr(0, h.n)
+	for i, b := range h.blocks {
+		wr(4+4*i, b)
+	}
+}
+
+// beginHandle joins (or starts) the running compound transaction.
+func (fs *FS) beginHandle(t *kernel.Task, nblocks int) {
+	fs.jMu.Lock()
+	for fs.committing || uint32(len(fs.txnBlocks)+nblocks) > JournalSize {
+		fs.jCond.Wait()
+	}
+	fs.handles++
+	t.Clk.AdvanceTo(fs.commitEnd)
+	fs.jMu.Unlock()
+}
+
+// jwrite records a mutated buffer in the running transaction. The buffer
+// stays dirty in the cache until checkpoint.
+func (fs *FS) jwrite(t *kernel.Task, bh *kernel.BufferHead) error {
+	bh.MarkDirty()
+	blk := uint32(bh.BlockNo())
+	fs.jMu.Lock()
+	defer fs.jMu.Unlock()
+	if fs.handles == 0 {
+		return fmt.Errorf("ext4: journal write outside handle: %w", fsapi.ErrInvalid)
+	}
+	if fs.inTxn[blk] {
+		return nil
+	}
+	if uint32(len(fs.txnBlocks)) >= JournalSize {
+		return fmt.Errorf("ext4: transaction too big: %w", fsapi.ErrNoSpace)
+	}
+	fs.inTxn[blk] = true
+	fs.txnBlocks = append(fs.txnBlocks, blk)
+	return nil
+}
+
+// endHandle closes a handle. Unlike xv6's end_op, this does NOT commit
+// per operation: the transaction keeps accumulating until an fsync needs
+// it durable or it crosses the size threshold — jbd2's batching, and the
+// reason ext4 leads Table 6.
+func (fs *FS) endHandle(t *kernel.Task) error {
+	fs.jMu.Lock()
+	fs.handles--
+	shouldCommit := (fs.commitReq || len(fs.txnBlocks) >= CommitThreshold) && fs.handles == 0
+	if !shouldCommit {
+		fs.jCond.Broadcast()
+		fs.jMu.Unlock()
+		return nil
+	}
+	return fs.commitLocked(t)
+}
+
+// commitBarrier makes everything journaled so far durable before
+// returning (fsync/sync path). Concurrent fsyncs share one compound
+// commit — the group commit that amortizes ext4's barriers across
+// varmail's 16 threads.
+func (fs *FS) commitBarrier(t *kernel.Task) error {
+	fs.jMu.Lock()
+	var target int64
+	switch {
+	case len(fs.txnBlocks) > 0:
+		// Our data sits in the pending transaction; if an older one is
+		// mid-commit we need the one after it.
+		target = fs.commitSeq + 1
+		if fs.committing {
+			target++
+		}
+		fs.commitReq = true
+	case fs.committing:
+		target = fs.commitSeq + 1
+	default:
+		fs.jMu.Unlock()
+		return nil
+	}
+	for fs.commitSeq < target {
+		if !fs.committing && fs.handles == 0 && len(fs.txnBlocks) > 0 {
+			// We become the committer of the pending transaction (which
+			// contains our blocks).
+			return fs.commitLocked(t)
+		}
+		if !fs.committing && len(fs.txnBlocks) == 0 {
+			break // someone else already committed everything
+		}
+		fs.jCond.Wait()
+	}
+	t.Clk.AdvanceTo(fs.commitEnd)
+	fs.jMu.Unlock()
+	return nil
+}
+
+// commitLocked commits the running transaction. Caller holds jMu, which
+// is released during I/O and reacquired; the function returns with jMu
+// released.
+func (fs *FS) commitLocked(t *kernel.Task) error {
+	fs.committing = true
+	blocks := fs.txnBlocks
+	fs.commitReq = false
+	fs.jMu.Unlock()
+
+	var err error
+	if len(blocks) > 0 {
+		err = fs.commitIO(t, blocks)
+	}
+
+	fs.jMu.Lock()
+	fs.txnBlocks = nil
+	fs.inTxn = make(map[uint32]bool)
+	fs.committing = false
+	fs.commitSeq++
+	fs.commits++
+	if now := t.Clk.NowNS(); now > fs.commitEnd {
+		fs.commitEnd = now
+	}
+	fs.jCond.Broadcast()
+	fs.jMu.Unlock()
+	return err
+}
+
+// commitIO performs the compound commit: batched journal writes (the
+// device queues stay full, unlike xv6's serial bwrite loop), one barrier
+// at the commit record, batched installs, one barrier, checkpoint.
+func (fs *FS) commitIO(t *kernel.Task, blocks []uint32) error {
+	// Journal data blocks: submit all, wait once.
+	var last int64
+	for i, home := range blocks {
+		src, err := fs.bc.Get(t, int(home))
+		if err != nil {
+			return err
+		}
+		dst, err := fs.bc.GetNoRead(t, int(fs.super.journalStart+1+uint32(i)))
+		if err != nil {
+			return err
+		}
+		copy(dst.Data(), src.Data())
+		done, err := dst.SubmitWrite(t)
+		if err != nil {
+			return err
+		}
+		if done > last {
+			last = done
+		}
+		_ = dst.Release()
+		_ = src.Release()
+	}
+	t.Clk.AdvanceTo(last)
+
+	// Commit record + barrier.
+	hb, err := fs.bc.GetNoRead(t, int(fs.super.journalStart))
+	if err != nil {
+		return err
+	}
+	encodeJHeader(jheader{n: uint32(len(blocks)), blocks: blocks}, hb.Data())
+	if err := hb.WriteSync(t); err != nil {
+		return err
+	}
+	if !fs.cfg.NoBarriers {
+		if err := fs.dev.Flush(t.Clk); err != nil {
+			return err
+		}
+	}
+
+	// Checkpoint: install home, barrier, clear the record.
+	last = 0
+	for _, home := range blocks {
+		src, err := fs.bc.Get(t, int(home))
+		if err != nil {
+			return err
+		}
+		done, err := src.SubmitWrite(t)
+		if err != nil {
+			return err
+		}
+		if done > last {
+			last = done
+		}
+		_ = src.Release()
+	}
+	t.Clk.AdvanceTo(last)
+	if !fs.cfg.NoBarriers {
+		if err := fs.dev.Flush(t.Clk); err != nil {
+			return err
+		}
+	}
+	clear(hb.Data())
+	if err := hb.WriteSync(t); err != nil {
+		return err
+	}
+	return hb.Release()
+}
+
+// txnFits reports whether adding n blocks would exceed the journal; used
+// by writers to size their handles like jbd2 credits.
+const maxHandleBlocks = layout.MaxOpBlocks

@@ -1,0 +1,432 @@
+package ext4
+
+import (
+	"fmt"
+
+	"bento/internal/fsapi"
+	"bento/internal/kernel"
+	"bento/internal/xv6/layout"
+)
+
+// --- allocation ---
+
+func (fs *FS) balloc(t *kernel.Task) (uint32, error) {
+	fs.allocMu.Lock()
+	defer fs.allocMu.Unlock()
+	sb := &fs.super
+	rotor := fs.blockRotor
+	if rotor < sb.dataStart || rotor >= sb.size {
+		rotor = sb.dataStart
+	}
+	for _, r := range [][2]uint32{{rotor, sb.size}, {sb.dataStart, rotor}} {
+		for b := r[0]; b < r[1]; {
+			base := (b / layout.BitsPerBlock) * layout.BitsPerBlock
+			end := base + layout.BitsPerBlock
+			if end > r[1] {
+				end = r[1]
+			}
+			bh, err := fs.bc.Get(t, int(sb.bmapStart+b/layout.BitsPerBlock))
+			if err != nil {
+				return 0, err
+			}
+			data := bh.Data()
+			for cur := b; cur < end; cur++ {
+				bit := cur - base
+				if data[bit/8]&(1<<(bit%8)) == 0 {
+					data[bit/8] |= 1 << (bit % 8)
+					if err := fs.jwrite(t, bh); err != nil {
+						_ = bh.Release()
+						return 0, err
+					}
+					_ = bh.Release()
+					zb, err := fs.bc.GetNoRead(t, int(cur))
+					if err != nil {
+						return 0, err
+					}
+					clear(zb.Data())
+					if err := fs.jwrite(t, zb); err != nil {
+						_ = zb.Release()
+						return 0, err
+					}
+					_ = zb.Release()
+					fs.blockRotor = cur + 1
+					return cur, nil
+				}
+			}
+			_ = bh.Release()
+			b = end
+		}
+	}
+	return 0, fsapi.ErrNoSpace
+}
+
+func (fs *FS) bfree(t *kernel.Task, blk uint32) error {
+	if blk < fs.super.dataStart || blk >= fs.super.size {
+		return fmt.Errorf("ext4: bfree %d out of range: %w", blk, fsapi.ErrInvalid)
+	}
+	fs.allocMu.Lock()
+	defer fs.allocMu.Unlock()
+	bh, err := fs.bc.Get(t, int(fs.super.bmapStart+blk/layout.BitsPerBlock))
+	if err != nil {
+		return err
+	}
+	data := bh.Data()
+	bit := blk % layout.BitsPerBlock
+	if data[bit/8]&(1<<(bit%8)) == 0 {
+		_ = bh.Release()
+		return fmt.Errorf("ext4: double free of %d: %w", blk, fsapi.ErrCorrupt)
+	}
+	data[bit/8] &^= 1 << (bit % 8)
+	if err := fs.jwrite(t, bh); err != nil {
+		_ = bh.Release()
+		return err
+	}
+	if blk < fs.blockRotor {
+		fs.blockRotor = blk
+	}
+	return bh.Release()
+}
+
+func (fs *FS) inodeBlock(inum uint32) int {
+	return int(fs.super.inodeStart + inum/layout.InodesPerBlock)
+}
+
+func (fs *FS) ialloc(t *kernel.Task, typ uint16) (*inode, error) {
+	fs.imu.Lock()
+	defer fs.imu.Unlock()
+	rotor := fs.inodeRotor
+	if rotor < 2 || rotor >= fs.super.nInodes {
+		rotor = 2
+	}
+	for _, r := range [][2]uint32{{rotor, fs.super.nInodes}, {2, rotor}} {
+		for inum := r[0]; inum < r[1]; inum++ {
+			bh, err := fs.bc.Get(t, fs.inodeBlock(inum))
+			if err != nil {
+				return nil, err
+			}
+			off := layout.InodeOffset(inum)
+			din := layout.DecodeDinode(bh.Data()[off:])
+			if din.Type != layout.TypeFree {
+				_ = bh.Release()
+				continue
+			}
+			din = layout.Dinode{Type: typ}
+			din.Encode(bh.Data()[off:])
+			if err := fs.jwrite(t, bh); err != nil {
+				_ = bh.Release()
+				return nil, err
+			}
+			_ = bh.Release()
+			fs.inodeRotor = inum + 1
+			ip := fs.iget(inum)
+			ip.mu.Lock()
+			ip.din = din
+			ip.valid = true
+			ip.mu.Unlock()
+			return ip, nil
+		}
+	}
+	return nil, fsapi.ErrNoInodes
+}
+
+// --- in-core inodes ---
+
+func (fs *FS) iget(inum uint32) *inode {
+	fs.itabMu.Lock()
+	defer fs.itabMu.Unlock()
+	if ip, ok := fs.inodes[inum]; ok {
+		ip.ref++
+		return ip
+	}
+	ip := &inode{inum: inum, ref: 1}
+	fs.inodes[inum] = ip
+	return ip
+}
+
+func (fs *FS) ilock(t *kernel.Task, ip *inode) error {
+	ip.mu.Lock()
+	if ip.valid {
+		return nil
+	}
+	bh, err := fs.bc.Get(t, fs.inodeBlock(ip.inum))
+	if err != nil {
+		ip.mu.Unlock()
+		return err
+	}
+	ip.din = layout.DecodeDinode(bh.Data()[layout.InodeOffset(ip.inum):])
+	_ = bh.Release()
+	if ip.din.Type == layout.TypeFree {
+		ip.mu.Unlock()
+		return fsapi.ErrStale
+	}
+	ip.valid = true
+	return nil
+}
+
+func (fs *FS) iupdate(t *kernel.Task, ip *inode) error {
+	bh, err := fs.bc.Get(t, fs.inodeBlock(ip.inum))
+	if err != nil {
+		return err
+	}
+	ip.din.Encode(bh.Data()[layout.InodeOffset(ip.inum):])
+	if err := fs.jwrite(t, bh); err != nil {
+		_ = bh.Release()
+		return err
+	}
+	return bh.Release()
+}
+
+func (fs *FS) iput(t *kernel.Task, ip *inode, hasHandle bool) error {
+	ip.mu.Lock()
+	if ip.valid && ip.din.Nlink == 0 {
+		fs.itabMu.Lock()
+		r := ip.ref
+		fs.itabMu.Unlock()
+		if r == 1 {
+			if !hasHandle {
+				ip.mu.Unlock()
+				fs.beginHandle(t, maxHandleBlocks)
+				err := fs.iput(t, ip, true)
+				if e := fs.endHandle(t); err == nil {
+					err = e
+				}
+				return err
+			}
+			if err := fs.itrunc(t, ip); err != nil {
+				ip.mu.Unlock()
+				return err
+			}
+			ip.din.Type = layout.TypeFree
+			if err := fs.iupdate(t, ip); err != nil {
+				ip.mu.Unlock()
+				return err
+			}
+			fs.imu.Lock()
+			if ip.inum < fs.inodeRotor {
+				fs.inodeRotor = ip.inum
+			}
+			fs.imu.Unlock()
+			ip.valid = false
+		}
+	}
+	ip.mu.Unlock()
+	fs.itabMu.Lock()
+	ip.ref--
+	if ip.ref == 0 {
+		delete(fs.inodes, ip.inum)
+	}
+	fs.itabMu.Unlock()
+	return nil
+}
+
+// bmap/itrunc/readi/writei: same pointer tree as xv6 (the comparison
+// isolates journaling and lookup behaviour, not extent formats).
+
+func (fs *FS) bmap(t *kernel.Task, ip *inode, bn uint64, alloc bool) (uint32, error) {
+	if bn >= layout.MaxFileBlocks {
+		return 0, fsapi.ErrFileTooBig
+	}
+	if bn < layout.NDirect {
+		if ip.din.Addrs[bn] == 0 && alloc {
+			a, err := fs.balloc(t)
+			if err != nil {
+				return 0, err
+			}
+			ip.din.Addrs[bn] = a
+			if err := fs.iupdate(t, ip); err != nil {
+				return 0, err
+			}
+		}
+		return ip.din.Addrs[bn], nil
+	}
+	var idxs []int
+	var slot *uint32
+	if bn < layout.NDirect+layout.NIndirect {
+		slot = &ip.din.Addrs[layout.IndirectSlot]
+		idxs = []int{int(bn - layout.NDirect)}
+	} else {
+		off := bn - layout.NDirect - layout.NIndirect
+		slot = &ip.din.Addrs[layout.DIndirectSlot]
+		idxs = []int{int(off / layout.NIndirect), int(off % layout.NIndirect)}
+	}
+	cur := *slot
+	if cur == 0 {
+		if !alloc {
+			return 0, nil
+		}
+		a, err := fs.balloc(t)
+		if err != nil {
+			return 0, err
+		}
+		*slot = a
+		if err := fs.iupdate(t, ip); err != nil {
+			return 0, err
+		}
+		cur = a
+	}
+	for _, idx := range idxs {
+		bh, err := fs.bc.Get(t, int(cur))
+		if err != nil {
+			return 0, err
+		}
+		data := bh.Data()
+		next := u32(data, 4*idx)
+		if next == 0 {
+			if !alloc {
+				_ = bh.Release()
+				return 0, nil
+			}
+			a, err := fs.balloc(t)
+			if err != nil {
+				_ = bh.Release()
+				return 0, err
+			}
+			pu32(data, 4*idx, a)
+			if err := fs.jwrite(t, bh); err != nil {
+				_ = bh.Release()
+				return 0, err
+			}
+			next = a
+		}
+		_ = bh.Release()
+		cur = next
+	}
+	return cur, nil
+}
+
+func (fs *FS) itrunc(t *kernel.Task, ip *inode) error {
+	for i := 0; i < layout.NDirect; i++ {
+		if a := ip.din.Addrs[i]; a != 0 {
+			if err := fs.bfree(t, a); err != nil {
+				return err
+			}
+			ip.din.Addrs[i] = 0
+		}
+	}
+	var freeTree func(uint32, int) error
+	freeTree = func(b uint32, d int) error {
+		bh, err := fs.bc.Get(t, int(b))
+		if err != nil {
+			return err
+		}
+		data := bh.Data()
+		for i := 0; i < layout.NIndirect; i++ {
+			a := u32(data, 4*i)
+			if a == 0 {
+				continue
+			}
+			if d > 1 {
+				if err := freeTree(a, d-1); err != nil {
+					_ = bh.Release()
+					return err
+				}
+			} else if err := fs.bfree(t, a); err != nil {
+				_ = bh.Release()
+				return err
+			}
+		}
+		_ = bh.Release()
+		return fs.bfree(t, b)
+	}
+	if a := ip.din.Addrs[layout.IndirectSlot]; a != 0 {
+		if err := freeTree(a, 1); err != nil {
+			return err
+		}
+		ip.din.Addrs[layout.IndirectSlot] = 0
+	}
+	if a := ip.din.Addrs[layout.DIndirectSlot]; a != 0 {
+		if err := freeTree(a, 2); err != nil {
+			return err
+		}
+		ip.din.Addrs[layout.DIndirectSlot] = 0
+	}
+	ip.din.Size = 0
+	return fs.iupdate(t, ip)
+}
+
+func (fs *FS) readi(t *kernel.Task, ip *inode, off int64, buf []byte) (int, error) {
+	if off < 0 {
+		return 0, fsapi.ErrInvalid
+	}
+	size := int64(ip.din.Size)
+	if off >= size {
+		return 0, nil
+	}
+	want := int64(len(buf))
+	if off+want > size {
+		want = size - off
+	}
+	var done int64
+	for done < want {
+		bn := uint64((off + done) / layout.BlockSize)
+		bo := (off + done) % layout.BlockSize
+		n := int64(layout.BlockSize) - bo
+		if n > want-done {
+			n = want - done
+		}
+		blk, err := fs.bmap(t, ip, bn, false)
+		if err != nil {
+			return int(done), err
+		}
+		if blk == 0 {
+			clear(buf[done : done+n])
+		} else {
+			bh, err := fs.bc.Get(t, int(blk))
+			if err != nil {
+				return int(done), err
+			}
+			copy(buf[done:done+n], bh.Data()[bo:bo+n])
+			_ = bh.Release()
+		}
+		done += n
+	}
+	return int(done), nil
+}
+
+func (fs *FS) writei(t *kernel.Task, ip *inode, off int64, buf []byte) (int, error) {
+	if off < 0 || off+int64(len(buf)) > layout.MaxFileSize {
+		return 0, fsapi.ErrFileTooBig
+	}
+	var done int64
+	want := int64(len(buf))
+	for done < want {
+		bn := uint64((off + done) / layout.BlockSize)
+		bo := (off + done) % layout.BlockSize
+		n := int64(layout.BlockSize) - bo
+		if n > want-done {
+			n = want - done
+		}
+		blk, err := fs.bmap(t, ip, bn, true)
+		if err != nil {
+			return int(done), err
+		}
+		var bh *kernel.BufferHead
+		if n == layout.BlockSize {
+			bh, err = fs.bc.GetNoRead(t, int(blk))
+		} else {
+			bh, err = fs.bc.Get(t, int(blk))
+		}
+		if err != nil {
+			return int(done), err
+		}
+		copy(bh.Data()[bo:bo+n], buf[done:done+n])
+		if err := fs.jwrite(t, bh); err != nil {
+			_ = bh.Release()
+			return int(done), err
+		}
+		_ = bh.Release()
+		done += n
+	}
+	if end := off + done; end > int64(ip.din.Size) {
+		ip.din.Size = uint64(end)
+	}
+	return int(done), fs.iupdate(t, ip)
+}
+
+func u32(b []byte, off int) uint32 {
+	return uint32(b[off]) | uint32(b[off+1])<<8 | uint32(b[off+2])<<16 | uint32(b[off+3])<<24
+}
+
+func pu32(b []byte, off int, v uint32) {
+	b[off], b[off+1], b[off+2], b[off+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}

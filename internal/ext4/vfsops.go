@@ -1,0 +1,747 @@
+package ext4
+
+import (
+	"bento/internal/fsapi"
+	"bento/internal/kernel"
+	"bento/internal/xv6/layout"
+)
+
+// dirEnt is an entry in the in-memory directory index (htree stand-in):
+// the child inode and the record's byte offset in the directory file.
+type dirEnt struct {
+	ino uint32
+	off int64
+}
+
+// dirIndexFor returns the index for dp, building it on first use by
+// scanning the directory once. Caller holds dp.mu.
+func (fs *FS) dirIndexFor(t *kernel.Task, dp *inode) (map[string]dirEnt, error) {
+	fs.dirIdxMu.Lock()
+	if raw, ok := fs.dirIdx[dp.inum]; ok {
+		fs.dirIdxMu.Unlock()
+		return castIdx(raw), nil
+	}
+	fs.dirIdxMu.Unlock()
+
+	idx := make(map[string]dirEnt)
+	size := int64(dp.din.Size)
+	buf := make([]byte, layout.BlockSize)
+	for base := int64(0); base < size; base += layout.BlockSize {
+		n := size - base
+		if n > layout.BlockSize {
+			n = layout.BlockSize
+		}
+		if _, err := fs.readi(t, dp, base, buf[:n]); err != nil {
+			return nil, err
+		}
+		for o := int64(0); o < n; o += layout.DirentSize {
+			de := layout.DecodeDirent(buf[o:])
+			if de.Ino != 0 {
+				idx[de.Name] = dirEnt{ino: de.Ino, off: base + o}
+			}
+		}
+	}
+	fs.dirIdxMu.Lock()
+	fs.dirIdx[dp.inum] = encodeIdx(idx)
+	fs.dirIdxMu.Unlock()
+	return idx, nil
+}
+
+// The index is stored as map[string]uint32 pairs packed in a generic map
+// to keep the FS struct simple; helpers convert.
+func encodeIdx(idx map[string]dirEnt) map[string]uint32 {
+	out := make(map[string]uint32, len(idx))
+	for k, v := range idx {
+		out[k] = v.ino
+	}
+	return out
+}
+
+func castIdx(raw map[string]uint32) map[string]dirEnt {
+	out := make(map[string]dirEnt, len(raw))
+	for k, v := range raw {
+		out[k] = dirEnt{ino: v, off: -1}
+	}
+	return out
+}
+
+// idxPut/idxDel maintain the index incrementally.
+func (fs *FS) idxPut(dir uint32, name string, ino uint32) {
+	fs.dirIdxMu.Lock()
+	if m, ok := fs.dirIdx[dir]; ok {
+		m[name] = ino
+	}
+	fs.dirIdxMu.Unlock()
+}
+
+func (fs *FS) idxDel(dir uint32, name string) {
+	fs.dirIdxMu.Lock()
+	if m, ok := fs.dirIdx[dir]; ok {
+		delete(m, name)
+	}
+	fs.dirIdxMu.Unlock()
+}
+
+func (fs *FS) idxDrop(dir uint32) {
+	fs.dirIdxMu.Lock()
+	delete(fs.dirIdx, dir)
+	fs.dirIdxMu.Unlock()
+}
+
+// dirlookup resolves name in dp: O(1) through the index, with a record
+// scan only when the caller needs the byte offset. Caller holds dp.mu.
+func (fs *FS) dirlookup(t *kernel.Task, dp *inode, name string, needOff bool) (uint32, int64, error) {
+	if dp.din.Type != layout.TypeDir {
+		return 0, 0, fsapi.ErrNotDir
+	}
+	idx, err := fs.dirIndexFor(t, dp)
+	if err != nil {
+		return 0, 0, err
+	}
+	t.Charge(t.Model().PageCacheLookup) // hash probe
+	ent, ok := idx[name]
+	if !ok {
+		return 0, 0, fsapi.ErrNotExist
+	}
+	if !needOff {
+		return ent.ino, -1, nil
+	}
+	// Find the record offset (scan; mutation paths only).
+	size := int64(dp.din.Size)
+	rec := make([]byte, layout.DirentSize)
+	for o := int64(0); o < size; o += layout.DirentSize {
+		if _, err := fs.readi(t, dp, o, rec); err != nil {
+			return 0, 0, err
+		}
+		de := layout.DecodeDirent(rec)
+		if de.Ino != 0 && de.Name == name {
+			return de.Ino, o, nil
+		}
+	}
+	// Index said yes but the disk disagrees: stale index.
+	fs.idxDrop(dp.inum)
+	return 0, 0, fsapi.ErrNotExist
+}
+
+func (fs *FS) dirlink(t *kernel.Task, dp *inode, name string, inum uint32) error {
+	if len(name) > layout.MaxNameLen {
+		return fsapi.ErrNameTooLong
+	}
+	if _, _, err := fs.dirlookup(t, dp, name, false); err == nil {
+		return fsapi.ErrExist
+	}
+	size := int64(dp.din.Size)
+	rec := make([]byte, layout.DirentSize)
+	off := size
+	for o := int64(0); o < size; o += layout.DirentSize {
+		if _, err := fs.readi(t, dp, o, rec); err != nil {
+			return err
+		}
+		if layout.DecodeDirent(rec).Ino == 0 {
+			off = o
+			break
+		}
+	}
+	if err := layout.EncodeDirent(layout.Dirent{Ino: inum, Name: name}, rec); err != nil {
+		return err
+	}
+	if _, err := fs.writei(t, dp, off, rec); err != nil {
+		return err
+	}
+	fs.idxPut(dp.inum, name, inum)
+	return nil
+}
+
+func (fs *FS) dirunlink(t *kernel.Task, dp *inode, name string, off int64) error {
+	zero := make([]byte, layout.DirentSize)
+	if _, err := fs.writei(t, dp, off, zero); err != nil {
+		return err
+	}
+	fs.idxDel(dp.inum, name)
+	return nil
+}
+
+func (fs *FS) statOf(ip *inode) fsapi.Stat {
+	st := fsapi.Stat{Ino: fsapi.Ino(ip.inum), Size: int64(ip.din.Size), Nlink: uint32(ip.din.Nlink)}
+	switch ip.din.Type {
+	case layout.TypeDir:
+		st.Type = fsapi.TypeDir
+	case layout.TypeFile:
+		st.Type = fsapi.TypeFile
+	}
+	return st
+}
+
+// --- kernel.FileSystem ---
+
+// Root implements kernel.FileSystem.
+func (fs *FS) Root() fsapi.Ino { return fsapi.RootIno }
+
+// Lookup implements kernel.FileSystem.
+func (fs *FS) Lookup(t *kernel.Task, dir fsapi.Ino, name string) (fsapi.Stat, error) {
+	dp := fs.iget(uint32(dir))
+	defer fs.iput(t, dp, false)
+	if err := fs.ilock(t, dp); err != nil {
+		return fsapi.Stat{}, err
+	}
+	inum, _, err := fs.dirlookup(t, dp, name, false)
+	dp.mu.Unlock()
+	if err != nil {
+		return fsapi.Stat{}, err
+	}
+	ip := fs.iget(inum)
+	defer fs.iput(t, ip, false)
+	if err := fs.ilock(t, ip); err != nil {
+		return fsapi.Stat{}, err
+	}
+	st := fs.statOf(ip)
+	ip.mu.Unlock()
+	return st, nil
+}
+
+// GetAttr implements kernel.FileSystem.
+func (fs *FS) GetAttr(t *kernel.Task, ino fsapi.Ino) (fsapi.Stat, error) {
+	ip := fs.iget(uint32(ino))
+	defer fs.iput(t, ip, false)
+	if err := fs.ilock(t, ip); err != nil {
+		return fsapi.Stat{}, fsapi.ErrNotExist
+	}
+	st := fs.statOf(ip)
+	ip.mu.Unlock()
+	return st, nil
+}
+
+// SetSize implements kernel.FileSystem.
+func (fs *FS) SetSize(t *kernel.Task, ino fsapi.Ino, size int64) error {
+	if size < 0 || size > layout.MaxFileSize {
+		return fsapi.ErrInvalid
+	}
+	ip := fs.iget(uint32(ino))
+	defer fs.iput(t, ip, false)
+	if err := fs.ilock(t, ip); err != nil {
+		return err
+	}
+	defer ip.mu.Unlock()
+	if ip.din.Type == layout.TypeDir {
+		return fsapi.ErrIsDir
+	}
+	fs.beginHandle(t, maxHandleBlocks)
+	defer fs.endHandle(t)
+	if size == 0 {
+		return fs.itrunc(t, ip)
+	}
+	if size < int64(ip.din.Size) {
+		// ext4 truncates precisely; the model frees whole tail blocks and
+		// zeroes the partial one, matching the xv6 implementations.
+		old := int64(ip.din.Size)
+		firstDead := (size + layout.BlockSize - 1) / layout.BlockSize
+		lastOld := (old + layout.BlockSize - 1) / layout.BlockSize
+		for bn := firstDead; bn < lastOld; bn++ {
+			blk, err := fs.bmap(t, ip, uint64(bn), false)
+			if err != nil {
+				return err
+			}
+			if blk == 0 {
+				continue
+			}
+			if err := fs.bfree(t, blk); err != nil {
+				return err
+			}
+		}
+		if size%layout.BlockSize != 0 {
+			if blk, err := fs.bmap(t, ip, uint64(size/layout.BlockSize), false); err != nil {
+				return err
+			} else if blk != 0 {
+				bh, err := fs.bc.Get(t, int(blk))
+				if err != nil {
+					return err
+				}
+				clear(bh.Data()[size%layout.BlockSize:])
+				if err := fs.jwrite(t, bh); err != nil {
+					_ = bh.Release()
+					return err
+				}
+				_ = bh.Release()
+			}
+		}
+	}
+	ip.din.Size = uint64(size)
+	return fs.iupdate(t, ip)
+}
+
+// Create implements kernel.FileSystem.
+func (fs *FS) Create(t *kernel.Task, dir fsapi.Ino, name string) (fsapi.Stat, error) {
+	return fs.createNode(t, dir, name, layout.TypeFile)
+}
+
+// Mkdir implements kernel.FileSystem.
+func (fs *FS) Mkdir(t *kernel.Task, dir fsapi.Ino, name string) (fsapi.Stat, error) {
+	return fs.createNode(t, dir, name, layout.TypeDir)
+}
+
+func (fs *FS) createNode(t *kernel.Task, dir fsapi.Ino, name string, typ uint16) (fsapi.Stat, error) {
+	if name == "" || name == "." || name == ".." {
+		return fsapi.Stat{}, fsapi.ErrInvalid
+	}
+	fs.beginHandle(t, maxHandleBlocks)
+	defer fs.endHandle(t)
+	dp := fs.iget(uint32(dir))
+	defer fs.iput(t, dp, true)
+	if err := fs.ilock(t, dp); err != nil {
+		return fsapi.Stat{}, err
+	}
+	defer dp.mu.Unlock()
+	if dp.din.Type != layout.TypeDir {
+		return fsapi.Stat{}, fsapi.ErrNotDir
+	}
+	if _, _, err := fs.dirlookup(t, dp, name, false); err == nil {
+		return fsapi.Stat{}, fsapi.ErrExist
+	}
+	ip, err := fs.ialloc(t, typ)
+	if err != nil {
+		return fsapi.Stat{}, err
+	}
+	defer fs.iput(t, ip, true)
+	ip.mu.Lock()
+	defer ip.mu.Unlock()
+	if typ == layout.TypeDir {
+		ip.din.Nlink = 2
+	} else {
+		ip.din.Nlink = 1
+	}
+	if err := fs.iupdate(t, ip); err != nil {
+		return fsapi.Stat{}, err
+	}
+	if typ == layout.TypeDir {
+		if err := fs.dirlink(t, ip, ".", ip.inum); err != nil {
+			return fsapi.Stat{}, err
+		}
+		if err := fs.dirlink(t, ip, "..", dp.inum); err != nil {
+			return fsapi.Stat{}, err
+		}
+		dp.din.Nlink++
+		if err := fs.iupdate(t, dp); err != nil {
+			return fsapi.Stat{}, err
+		}
+	}
+	if err := fs.dirlink(t, dp, name, ip.inum); err != nil {
+		return fsapi.Stat{}, err
+	}
+	return fs.statOf(ip), nil
+}
+
+// Unlink implements kernel.FileSystem.
+func (fs *FS) Unlink(t *kernel.Task, dir fsapi.Ino, name string) error {
+	return fs.removeNode(t, dir, name, false)
+}
+
+// Rmdir implements kernel.FileSystem.
+func (fs *FS) Rmdir(t *kernel.Task, dir fsapi.Ino, name string) error {
+	return fs.removeNode(t, dir, name, true)
+}
+
+func (fs *FS) removeNode(t *kernel.Task, dir fsapi.Ino, name string, wantDir bool) error {
+	if name == "." || name == ".." {
+		return fsapi.ErrInvalid
+	}
+	fs.beginHandle(t, maxHandleBlocks)
+	defer fs.endHandle(t)
+	dp := fs.iget(uint32(dir))
+	defer fs.iput(t, dp, true)
+	if err := fs.ilock(t, dp); err != nil {
+		return err
+	}
+	defer dp.mu.Unlock()
+	inum, off, err := fs.dirlookup(t, dp, name, true)
+	if err != nil {
+		return err
+	}
+	ip := fs.iget(inum)
+	defer fs.iput(t, ip, true)
+	if err := fs.ilock(t, ip); err != nil {
+		return err
+	}
+	defer ip.mu.Unlock()
+	isDir := ip.din.Type == layout.TypeDir
+	if wantDir && !isDir {
+		return fsapi.ErrNotDir
+	}
+	if !wantDir && isDir {
+		return fsapi.ErrIsDir
+	}
+	if isDir {
+		idx, err := fs.dirIndexFor(t, ip)
+		if err != nil {
+			return err
+		}
+		for n := range idx {
+			if n != "." && n != ".." {
+				return fsapi.ErrNotEmpty
+			}
+		}
+	}
+	if err := fs.dirunlink(t, dp, name, off); err != nil {
+		return err
+	}
+	if isDir {
+		ip.din.Nlink -= 2
+		dp.din.Nlink--
+		fs.idxDrop(ip.inum)
+		if err := fs.iupdate(t, dp); err != nil {
+			return err
+		}
+	} else {
+		ip.din.Nlink--
+	}
+	return fs.iupdate(t, ip)
+}
+
+// Rename implements kernel.FileSystem.
+func (fs *FS) Rename(t *kernel.Task, odir fsapi.Ino, oname string, ndir fsapi.Ino, nname string) error {
+	if oname == "." || oname == ".." || nname == "." || nname == ".." {
+		return fsapi.ErrInvalid
+	}
+	if len(nname) > layout.MaxNameLen {
+		return fsapi.ErrNameTooLong
+	}
+	fs.beginHandle(t, maxHandleBlocks)
+	defer fs.endHandle(t)
+
+	odp := fs.iget(uint32(odir))
+	defer fs.iput(t, odp, true)
+	ndp := odp
+	if ndir != odir {
+		ndp = fs.iget(uint32(ndir))
+		defer fs.iput(t, ndp, true)
+	}
+	if odp == ndp {
+		if err := fs.ilock(t, odp); err != nil {
+			return err
+		}
+		defer odp.mu.Unlock()
+	} else {
+		first, second := odp, ndp
+		if ndp.inum < odp.inum {
+			first, second = ndp, odp
+		}
+		if err := fs.ilock(t, first); err != nil {
+			return err
+		}
+		defer first.mu.Unlock()
+		if err := fs.ilock(t, second); err != nil {
+			return err
+		}
+		defer second.mu.Unlock()
+	}
+
+	srcInum, srcOff, err := fs.dirlookup(t, odp, oname, true)
+	if err != nil {
+		return err
+	}
+	if odir == ndir && oname == nname {
+		return nil
+	}
+	src := fs.iget(srcInum)
+	defer fs.iput(t, src, true)
+	if err := fs.ilock(t, src); err != nil {
+		return err
+	}
+	srcIsDir := src.din.Type == layout.TypeDir
+	src.mu.Unlock()
+
+	if tgtInum, tgtOff, err := fs.dirlookup(t, ndp, nname, true); err == nil {
+		tgt := fs.iget(tgtInum)
+		defer fs.iput(t, tgt, true)
+		if err := fs.ilock(t, tgt); err != nil {
+			return err
+		}
+		tgtIsDir := tgt.din.Type == layout.TypeDir
+		if tgtIsDir != srcIsDir {
+			tgt.mu.Unlock()
+			if tgtIsDir {
+				return fsapi.ErrIsDir
+			}
+			return fsapi.ErrNotDir
+		}
+		if tgtIsDir {
+			idx, err := fs.dirIndexFor(t, tgt)
+			if err != nil {
+				tgt.mu.Unlock()
+				return err
+			}
+			for n := range idx {
+				if n != "." && n != ".." {
+					tgt.mu.Unlock()
+					return fsapi.ErrNotEmpty
+				}
+			}
+			tgt.din.Nlink -= 2
+			ndp.din.Nlink--
+			fs.idxDrop(tgt.inum)
+		} else {
+			tgt.din.Nlink--
+		}
+		if err := fs.iupdate(t, tgt); err != nil {
+			tgt.mu.Unlock()
+			return err
+		}
+		tgt.mu.Unlock()
+		if err := fs.dirunlink(t, ndp, nname, tgtOff); err != nil {
+			return err
+		}
+	}
+
+	if err := fs.dirlink(t, ndp, nname, srcInum); err != nil {
+		return err
+	}
+	if err := fs.dirunlink(t, odp, oname, srcOff); err != nil {
+		return err
+	}
+	if srcIsDir && odir != ndir {
+		if err := fs.ilock(t, src); err != nil {
+			return err
+		}
+		_, ddOff, err := fs.dirlookup(t, src, "..", true)
+		if err != nil {
+			src.mu.Unlock()
+			return err
+		}
+		rec := make([]byte, layout.DirentSize)
+		if err := layout.EncodeDirent(layout.Dirent{Ino: ndp.inum, Name: ".."}, rec); err != nil {
+			src.mu.Unlock()
+			return err
+		}
+		if _, err := fs.writei(t, src, ddOff, rec); err != nil {
+			src.mu.Unlock()
+			return err
+		}
+		fs.idxPut(src.inum, "..", ndp.inum)
+		src.mu.Unlock()
+		odp.din.Nlink--
+		ndp.din.Nlink++
+	}
+	if err := fs.iupdate(t, odp); err != nil {
+		return err
+	}
+	if ndp != odp {
+		return fs.iupdate(t, ndp)
+	}
+	return nil
+}
+
+// Link implements kernel.FileSystem.
+func (fs *FS) Link(t *kernel.Task, ino fsapi.Ino, dir fsapi.Ino, name string) (fsapi.Stat, error) {
+	fs.beginHandle(t, maxHandleBlocks)
+	defer fs.endHandle(t)
+	ip := fs.iget(uint32(ino))
+	defer fs.iput(t, ip, true)
+	if err := fs.ilock(t, ip); err != nil {
+		return fsapi.Stat{}, err
+	}
+	if ip.din.Type == layout.TypeDir {
+		ip.mu.Unlock()
+		return fsapi.Stat{}, fsapi.ErrPerm
+	}
+	ip.din.Nlink++
+	if err := fs.iupdate(t, ip); err != nil {
+		ip.mu.Unlock()
+		return fsapi.Stat{}, err
+	}
+	st := fs.statOf(ip)
+	ip.mu.Unlock()
+	dp := fs.iget(uint32(dir))
+	defer fs.iput(t, dp, true)
+	if err := fs.ilock(t, dp); err != nil {
+		return fsapi.Stat{}, err
+	}
+	defer dp.mu.Unlock()
+	if err := fs.dirlink(t, dp, name, uint32(ino)); err != nil {
+		if lerr := fs.ilock(t, ip); lerr == nil {
+			ip.din.Nlink--
+			_ = fs.iupdate(t, ip)
+			ip.mu.Unlock()
+		}
+		return fsapi.Stat{}, err
+	}
+	return st, nil
+}
+
+// ReadDir implements kernel.FileSystem.
+func (fs *FS) ReadDir(t *kernel.Task, dir fsapi.Ino) ([]fsapi.DirEntry, error) {
+	dp := fs.iget(uint32(dir))
+	defer fs.iput(t, dp, false)
+	if err := fs.ilock(t, dp); err != nil {
+		return nil, err
+	}
+	defer dp.mu.Unlock()
+	if dp.din.Type != layout.TypeDir {
+		return nil, fsapi.ErrNotDir
+	}
+	size := int64(dp.din.Size)
+	buf := make([]byte, layout.BlockSize)
+	var out []fsapi.DirEntry
+	for base := int64(0); base < size; base += layout.BlockSize {
+		n := size - base
+		if n > layout.BlockSize {
+			n = layout.BlockSize
+		}
+		if _, err := fs.readi(t, dp, base, buf[:n]); err != nil {
+			return nil, err
+		}
+		for o := int64(0); o < n; o += layout.DirentSize {
+			de := layout.DecodeDirent(buf[o:])
+			if de.Ino == 0 || de.Name == "." || de.Name == ".." {
+				continue
+			}
+			ent := fsapi.DirEntry{Name: de.Name, Ino: fsapi.Ino(de.Ino)}
+			child := fs.iget(de.Ino)
+			if err := fs.ilock(t, child); err == nil {
+				switch child.din.Type {
+				case layout.TypeDir:
+					ent.Type = fsapi.TypeDir
+				case layout.TypeFile:
+					ent.Type = fsapi.TypeFile
+				}
+				child.mu.Unlock()
+			}
+			_ = fs.iput(t, child, false)
+			out = append(out, ent)
+		}
+	}
+	return out, nil
+}
+
+// Open implements kernel.FileSystem.
+func (fs *FS) Open(t *kernel.Task, ino fsapi.Ino) error {
+	ip := fs.iget(uint32(ino))
+	if err := fs.ilock(t, ip); err != nil {
+		_ = fs.iput(t, ip, false)
+		return fsapi.ErrNotExist
+	}
+	ip.mu.Unlock()
+	return nil
+}
+
+// Release implements kernel.FileSystem.
+func (fs *FS) Release(t *kernel.Task, ino fsapi.Ino) error {
+	fs.itabMu.Lock()
+	ip, ok := fs.inodes[uint32(ino)]
+	fs.itabMu.Unlock()
+	if !ok {
+		return nil
+	}
+	return fs.iput(t, ip, false)
+}
+
+// ReadPage implements kernel.FileSystem.
+func (fs *FS) ReadPage(t *kernel.Task, ino fsapi.Ino, pg int64, buf []byte) error {
+	ip := fs.iget(uint32(ino))
+	defer fs.iput(t, ip, false)
+	if err := fs.ilock(t, ip); err != nil {
+		return err
+	}
+	defer ip.mu.Unlock()
+	n, err := fs.readi(t, ip, pg*fsapi.PageSize, buf)
+	if err != nil {
+		return err
+	}
+	clear(buf[n:])
+	return nil
+}
+
+// WritePage implements kernel.FileSystem.
+func (fs *FS) WritePage(t *kernel.Task, ino fsapi.Ino, pg int64, buf []byte, newSize int64) error {
+	return fs.WritePages(t, ino, pg, [][]byte{buf}, newSize)
+}
+
+// WritePages implements kernel.BatchWriter: the run is journaled in
+// chunks bounded by the per-handle credit, all within compound
+// transactions (data=journal).
+func (fs *FS) WritePages(t *kernel.Task, ino fsapi.Ino, pg int64, pages [][]byte, newSize int64) error {
+	const chunk = 32 // data pages per handle
+	ip := fs.iget(uint32(ino))
+	defer fs.iput(t, ip, false)
+	for start := 0; start < len(pages); start += chunk {
+		end := start + chunk
+		if end > len(pages) {
+			end = len(pages)
+		}
+		off := (pg + int64(start)) * fsapi.PageSize
+		if off >= newSize {
+			return nil
+		}
+		total := int64(end-start) * fsapi.PageSize
+		if off+total > newSize {
+			total = newSize - off
+		}
+		data := make([]byte, total)
+		var copied int64
+		for _, p := range pages[start:end] {
+			if copied >= total {
+				break
+			}
+			n := int64(len(p))
+			if copied+n > total {
+				n = total - copied
+			}
+			copy(data[copied:], p[:n])
+			copied += n
+		}
+		fs.beginHandle(t, maxHandleBlocks)
+		if err := fs.ilock(t, ip); err != nil {
+			_ = fs.endHandle(t)
+			return err
+		}
+		_, err := fs.writei(t, ip, off, data)
+		ip.mu.Unlock()
+		if e := fs.endHandle(t); err == nil {
+			err = e
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fsync implements kernel.FileSystem: join/force a compound commit.
+func (fs *FS) Fsync(t *kernel.Task, ino fsapi.Ino, dataOnly bool) error {
+	return fs.commitBarrier(t)
+}
+
+// Sync implements kernel.FileSystem.
+func (fs *FS) Sync(t *kernel.Task) error { return fs.commitBarrier(t) }
+
+// StatFS implements kernel.FileSystem.
+func (fs *FS) StatFS(t *kernel.Task) (fsapi.FSStat, error) {
+	sb := &fs.super
+	var freeBlocks int64
+	for b := sb.dataStart; b < sb.size; {
+		base := (b / layout.BitsPerBlock) * layout.BitsPerBlock
+		end := base + layout.BitsPerBlock
+		if end > sb.size {
+			end = sb.size
+		}
+		bh, err := fs.bc.Get(t, int(sb.bmapStart+b/layout.BitsPerBlock))
+		if err != nil {
+			return fsapi.FSStat{}, err
+		}
+		data := bh.Data()
+		for cur := b; cur < end; cur++ {
+			bit := cur - base
+			if data[bit/8]&(1<<(bit%8)) == 0 {
+				freeBlocks++
+			}
+		}
+		_ = bh.Release()
+		b = end
+	}
+	return fsapi.FSStat{
+		TotalBlocks: int64(sb.size - sb.dataStart),
+		FreeBlocks:  freeBlocks,
+		TotalInodes: int64(sb.nInodes),
+	}, nil
+}
+
+// Unmount implements kernel.FileSystem.
+func (fs *FS) Unmount(t *kernel.Task) error { return fs.commitBarrier(t) }

@@ -1,0 +1,377 @@
+// Package filebench reimplements the workload personalities the paper's
+// evaluation drives through filebench — the read/write/create/delete
+// microbenchmarks, the varmail and fileserver macrobenchmarks — plus the
+// untar-Linux workload. Workloads run against any mounted file system and
+// report operations and bytes per virtual second.
+package filebench
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"bento/internal/fsapi"
+	"bento/internal/kernel"
+	"bento/internal/vclock"
+)
+
+// Target is a mounted file system under test.
+type Target struct {
+	K *kernel.Kernel
+	M *kernel.Mount
+}
+
+// Result is one workload measurement.
+type Result struct {
+	Name    string
+	Ops     int64
+	Bytes   int64
+	Elapsed time.Duration // virtual
+	Errs    int64
+}
+
+// OpsPerSec reports throughput in operations per virtual second.
+func (r Result) OpsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// MBps reports throughput in megabytes per virtual second.
+func (r Result) MBps() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / 1e6 / r.Elapsed.Seconds()
+}
+
+// String renders the result compactly.
+func (r Result) String() string {
+	return fmt.Sprintf("%s: %d ops in %v (%.0f ops/s, %.1f MB/s)",
+		r.Name, r.Ops, r.Elapsed, r.OpsPerSec(), r.MBps())
+}
+
+// runWorkers runs fn in n workers with fresh group-joined clocks until
+// each worker's virtual clock passes duration (or fn signals done). The
+// workers start at startAt — the virtual time the setup phase finished —
+// so shared resources (CPU pool, device queues, journal state) warmed by
+// setup do not leak into the measurement. The run's elapsed time is the
+// furthest-ahead worker minus startAt.
+func runWorkers(tg Target, name string, n int, startAt, duration time.Duration,
+	fn func(w int, task *kernel.Task, deadline int64, pace func()) (ops, bytes int64, err error)) Result {
+
+	group := vclock.NewGroup(startAt)
+	// Register every worker clock before any runs, so pacing sees the
+	// whole group.
+	clks := make([]*vclock.Clock, n)
+	for w := 0; w < n; w++ {
+		clks[w] = group.NewWorker()
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	res := Result{Name: name}
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			clk := clks[w]
+			defer group.Done(clk)
+			task := tg.K.NewTaskWithClock(fmt.Sprintf("%s-w%d", name, w), clk)
+			deadline := clk.NowNS() + int64(duration)
+			ops, bytes, err := fn(w, task, deadline, func() { group.Pace(clk) })
+			mu.Lock()
+			res.Ops += ops
+			res.Bytes += bytes
+			if err != nil {
+				res.Errs++
+			}
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	res.Elapsed = group.Elapsed()
+	return res
+}
+
+// MicroConfig parameterizes the read/write microbenchmarks.
+type MicroConfig struct {
+	Threads  int
+	IOSize   int           // bytes per operation
+	FileSize int64         // per-thread working file size
+	Random   bool          // random vs sequential offsets
+	Duration time.Duration // virtual run length
+	MaxOps   int64         // optional per-thread op cap (0 = none)
+	Seed     int64
+}
+
+func (c *MicroConfig) defaults() {
+	if c.Threads <= 0 {
+		c.Threads = 1
+	}
+	if c.IOSize <= 0 {
+		c.IOSize = 4096
+	}
+	if c.FileSize <= 0 {
+		c.FileSize = 16 << 20
+	}
+	if c.Duration <= 0 {
+		c.Duration = time.Second
+	}
+}
+
+// prepareFile creates and writes a per-thread working file, then syncs so
+// the measured phase starts from a clean, cached state.
+func prepareFile(tg Target, task *kernel.Task, path string, size int64) error {
+	f, err := tg.M.Open(task, path, fsapi.OCreate|fsapi.ORdwr|fsapi.OTrunc)
+	if err != nil {
+		return err
+	}
+	defer tg.M.Close(task, f)
+	chunk := make([]byte, 1<<20)
+	for i := range chunk {
+		chunk[i] = byte(i * 31)
+	}
+	var off int64
+	for off < size {
+		n := int64(len(chunk))
+		if off+n > size {
+			n = size - off
+		}
+		if _, err := f.PWrite(task, chunk[:n], off); err != nil {
+			return err
+		}
+		off += n
+	}
+	return f.FSync(task)
+}
+
+// ReadMicro is the paper's read microbenchmark (Figures 2 and 3): warm the
+// cache with one pass, then timed reads at the configured size and access
+// pattern.
+func ReadMicro(tg Target, cfg MicroConfig) (Result, error) {
+	cfg.defaults()
+	setup := tg.K.NewTask("setup")
+	for w := 0; w < cfg.Threads; w++ {
+		if err := prepareFile(tg, setup, fmt.Sprintf("/readfile%d", w), cfg.FileSize); err != nil {
+			return Result{}, err
+		}
+	}
+	// Warm the page cache: one sequential pass per file.
+	for w := 0; w < cfg.Threads; w++ {
+		if _, err := tg.M.ReadFile(setup, fmt.Sprintf("/readfile%d", w)); err != nil {
+			return Result{}, err
+		}
+	}
+
+	kind := "seq"
+	if cfg.Random {
+		kind = "rnd"
+	}
+	name := fmt.Sprintf("read-%s-%dt-%dk", kind, cfg.Threads, cfg.IOSize/1024)
+	res := runWorkers(tg, name, cfg.Threads, setup.Clk.Now(), cfg.Duration,
+		func(w int, task *kernel.Task, deadline int64, pace func()) (int64, int64, error) {
+			f, err := tg.M.Open(task, fmt.Sprintf("/readfile%d", w), fsapi.ORdonly)
+			if err != nil {
+				return 0, 0, err
+			}
+			defer tg.M.Close(task, f)
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+			buf := make([]byte, cfg.IOSize)
+			slots := cfg.FileSize / int64(cfg.IOSize)
+			if slots < 1 {
+				slots = 1
+			}
+			var ops, bytes int64
+			var pos int64
+			for task.Clk.NowNS() < deadline && (cfg.MaxOps == 0 || ops < cfg.MaxOps) {
+				pace()
+				task.Charge(task.Model().AppOpOverhead)
+				var off int64
+				if cfg.Random {
+					off = rng.Int63n(slots) * int64(cfg.IOSize)
+				} else {
+					off = pos
+					pos += int64(cfg.IOSize)
+					if pos >= cfg.FileSize {
+						pos = 0
+					}
+				}
+				n, err := f.PRead(task, buf, off)
+				if err != nil {
+					return ops, bytes, err
+				}
+				ops++
+				bytes += int64(n)
+			}
+			return ops, bytes, nil
+		})
+	return res, nil
+}
+
+// WriteMicro is the paper's write microbenchmark (Figure 4): timed writes
+// of IOSize at sequential or random offsets within a per-thread file.
+func WriteMicro(tg Target, cfg MicroConfig) (Result, error) {
+	cfg.defaults()
+	setup := tg.K.NewTask("setup")
+	for w := 0; w < cfg.Threads; w++ {
+		if err := prepareFile(tg, setup, fmt.Sprintf("/writefile%d", w), cfg.FileSize); err != nil {
+			return Result{}, err
+		}
+	}
+
+	kind := "seq"
+	if cfg.Random {
+		kind = "rnd"
+	}
+	name := fmt.Sprintf("write-%s-%dt-%dk", kind, cfg.Threads, cfg.IOSize/1024)
+	res := runWorkers(tg, name, cfg.Threads, setup.Clk.Now(), cfg.Duration,
+		func(w int, task *kernel.Task, deadline int64, pace func()) (int64, int64, error) {
+			f, err := tg.M.Open(task, fmt.Sprintf("/writefile%d", w), fsapi.ORdwr)
+			if err != nil {
+				return 0, 0, err
+			}
+			defer tg.M.Close(task, f)
+			rng := rand.New(rand.NewSource(cfg.Seed + 77 + int64(w)))
+			buf := make([]byte, cfg.IOSize)
+			for i := range buf {
+				buf[i] = byte(w + i)
+			}
+			slots := cfg.FileSize / int64(cfg.IOSize)
+			if slots < 1 {
+				slots = 1
+			}
+			var ops, bytes int64
+			var pos int64
+			for task.Clk.NowNS() < deadline && (cfg.MaxOps == 0 || ops < cfg.MaxOps) {
+				pace()
+				task.Charge(task.Model().AppOpOverhead)
+				var off int64
+				if cfg.Random {
+					off = rng.Int63n(slots) * int64(cfg.IOSize)
+				} else {
+					off = pos
+					pos += int64(cfg.IOSize)
+					if pos >= cfg.FileSize {
+						pos = 0
+					}
+				}
+				n, err := f.PWrite(task, buf, off)
+				if err != nil {
+					return ops, bytes, err
+				}
+				ops++
+				bytes += int64(n)
+			}
+			return ops, bytes, nil
+		})
+	return res, nil
+}
+
+// MetaConfig parameterizes the create/delete microbenchmarks.
+type MetaConfig struct {
+	Threads  int
+	FileSize int // bytes written per created file (16 KiB in filebench)
+	Files    int // files per thread (delete pre-creates these)
+	Duration time.Duration
+	MaxOps   int64
+}
+
+func (c *MetaConfig) defaults() {
+	if c.Threads <= 0 {
+		c.Threads = 1
+	}
+	if c.FileSize < 0 {
+		c.FileSize = 0
+	} else if c.FileSize == 0 {
+		c.FileSize = 16 << 10
+	}
+	if c.Files <= 0 {
+		c.Files = 512
+	}
+	if c.Duration <= 0 {
+		c.Duration = time.Second
+	}
+}
+
+// CreateFiles is Table 4's createfiles personality: each thread creates
+// files of FileSize in its own directory until the clock runs out.
+func CreateFiles(tg Target, cfg MetaConfig) (Result, error) {
+	cfg.defaults()
+	setup := tg.K.NewTask("setup")
+	for w := 0; w < cfg.Threads; w++ {
+		if err := tg.M.Mkdir(setup, fmt.Sprintf("/create%d", w)); err != nil {
+			return Result{}, err
+		}
+	}
+	payload := make([]byte, cfg.FileSize)
+	name := fmt.Sprintf("createfiles-%dt", cfg.Threads)
+	res := runWorkers(tg, name, cfg.Threads, setup.Clk.Now(), cfg.Duration,
+		func(w int, task *kernel.Task, deadline int64, pace func()) (int64, int64, error) {
+			var ops, bytes int64
+			for task.Clk.NowNS() < deadline && (cfg.MaxOps == 0 || ops < cfg.MaxOps) {
+				pace()
+				task.Charge(task.Model().AppOpOverhead)
+				p := fmt.Sprintf("/create%d/f%06d", w, ops)
+				f, err := tg.M.Open(task, p, fsapi.OCreate|fsapi.OWronly)
+				if err != nil {
+					return ops, bytes, err
+				}
+				if len(payload) > 0 {
+					if _, err := f.Write(task, payload); err != nil {
+						_ = tg.M.Close(task, f)
+						return ops, bytes, err
+					}
+				}
+				if err := f.FSync(task); err != nil {
+					_ = tg.M.Close(task, f)
+					return ops, bytes, err
+				}
+				if err := tg.M.Close(task, f); err != nil {
+					return ops, bytes, err
+				}
+				ops++
+				bytes += int64(len(payload))
+			}
+			return ops, bytes, nil
+		})
+	return res, nil
+}
+
+// DeleteFiles is Table 5's deletefiles personality: a pre-created tree is
+// deleted under the timer.
+func DeleteFiles(tg Target, cfg MetaConfig) (Result, error) {
+	cfg.defaults()
+	setup := tg.K.NewTask("setup")
+	payload := make([]byte, 4096)
+	for w := 0; w < cfg.Threads; w++ {
+		dir := fmt.Sprintf("/delete%d", w)
+		if err := tg.M.Mkdir(setup, dir); err != nil {
+			return Result{}, err
+		}
+		for i := 0; i < cfg.Files; i++ {
+			if err := tg.M.WriteFile(setup, fmt.Sprintf("%s/f%06d", dir, i), payload); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	if err := tg.M.Sync(setup); err != nil {
+		return Result{}, err
+	}
+	name := fmt.Sprintf("deletefiles-%dt", cfg.Threads)
+	res := runWorkers(tg, name, cfg.Threads, setup.Clk.Now(), cfg.Duration,
+		func(w int, task *kernel.Task, deadline int64, pace func()) (int64, int64, error) {
+			var ops int64
+			for int(ops) < cfg.Files && task.Clk.NowNS() < deadline && (cfg.MaxOps == 0 || ops < cfg.MaxOps) {
+				pace()
+				task.Charge(task.Model().AppOpOverhead)
+				if err := tg.M.Unlink(task, fmt.Sprintf("/delete%d/f%06d", w, ops)); err != nil {
+					return ops, 0, err
+				}
+				ops++
+			}
+			return ops, 0, nil
+		})
+	return res, nil
+}

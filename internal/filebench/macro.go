@@ -1,0 +1,268 @@
+package filebench
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"bento/internal/fsapi"
+	"bento/internal/kernel"
+)
+
+// MacroConfig parameterizes the macrobenchmark personalities.
+type MacroConfig struct {
+	Threads  int
+	Files    int // dataset size per thread
+	MeanSize int // mean file size in bytes
+	Duration time.Duration
+	MaxOps   int64
+	Seed     int64
+}
+
+// Varmail is filebench's mail-server personality (Table 6): each loop
+// deletes a message, composes one (create, append, fsync), reads and
+// appends to another (fsync again), and reads a whole message. Every
+// flowop counts as one operation, matching filebench accounting.
+func Varmail(tg Target, cfg MacroConfig) (Result, error) {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 16
+	}
+	if cfg.Files <= 0 {
+		cfg.Files = 200
+	}
+	if cfg.MeanSize <= 0 {
+		cfg.MeanSize = 16 << 10
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	setup := tg.K.NewTask("setup")
+	for w := 0; w < cfg.Threads; w++ {
+		dir := fmt.Sprintf("/mail%d", w)
+		if err := tg.M.Mkdir(setup, dir); err != nil {
+			return Result{}, err
+		}
+		payload := make([]byte, cfg.MeanSize)
+		for i := 0; i < cfg.Files; i++ {
+			if err := tg.M.WriteFile(setup, fmt.Sprintf("%s/m%05d", dir, i), payload); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	if err := tg.M.Sync(setup); err != nil {
+		return Result{}, err
+	}
+
+	name := fmt.Sprintf("varmail-%dt", cfg.Threads)
+	res := runWorkers(tg, name, cfg.Threads, setup.Clk.Now(), cfg.Duration,
+		func(w int, task *kernel.Task, deadline int64, pace func()) (int64, int64, error) {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+			dir := fmt.Sprintf("/mail%d", w)
+			appendBuf := make([]byte, cfg.MeanSize/2)
+			next := cfg.Files
+			var ops, bytes int64
+			for task.Clk.NowNS() < deadline && (cfg.MaxOps == 0 || ops < cfg.MaxOps) {
+				pace()
+				task.Charge(task.Model().AppOpOverhead)
+				// deletefile
+				victim := fmt.Sprintf("%s/m%05d", dir, rng.Intn(next))
+				if err := tg.M.Unlink(task, victim); err != nil && !errors.Is(err, fsapi.ErrNotExist) {
+					return ops, bytes, err
+				}
+				ops++
+				// createfile + appendfilerand + fsync
+				p := fmt.Sprintf("%s/m%05d", dir, next)
+				next++
+				f, err := tg.M.Open(task, p, fsapi.OCreate|fsapi.OWronly|fsapi.OAppend)
+				if err != nil {
+					return ops, bytes, err
+				}
+				if _, err := f.Write(task, appendBuf); err != nil {
+					return ops, bytes, err
+				}
+				ops++
+				if err := f.FSync(task); err != nil {
+					return ops, bytes, err
+				}
+				ops++
+				if err := tg.M.Close(task, f); err != nil {
+					return ops, bytes, err
+				}
+				bytes += int64(len(appendBuf))
+				// openfile + readwholefile + appendfilerand + fsync
+				q := fmt.Sprintf("%s/m%05d", dir, rng.Intn(next))
+				g, err := tg.M.Open(task, q, fsapi.ORdwr|fsapi.OAppend|fsapi.OCreate)
+				if err != nil {
+					return ops, bytes, err
+				}
+				data, rerr := tg.M.ReadFile(task, q)
+				if rerr == nil {
+					bytes += int64(len(data))
+				}
+				ops++
+				if _, err := g.Write(task, appendBuf); err != nil {
+					return ops, bytes, err
+				}
+				ops++
+				if err := g.FSync(task); err != nil {
+					return ops, bytes, err
+				}
+				ops++
+				if err := tg.M.Close(task, g); err != nil {
+					return ops, bytes, err
+				}
+				// openfile + readwholefile (another message)
+				r := fmt.Sprintf("%s/m%05d", dir, rng.Intn(next))
+				if data, err := tg.M.ReadFile(task, r); err == nil {
+					bytes += int64(len(data))
+				}
+				ops++
+			}
+			return ops, bytes, nil
+		})
+	return res, nil
+}
+
+// Fileserver is filebench's file-server personality (Table 6): create and
+// write a whole file, append to a random file, read a whole file, delete
+// a file — no fsyncs, 50 threads by default.
+func Fileserver(tg Target, cfg MacroConfig) (Result, error) {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 50
+	}
+	if cfg.Files <= 0 {
+		cfg.Files = 100
+	}
+	if cfg.MeanSize <= 0 {
+		cfg.MeanSize = 128 << 10
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	setup := tg.K.NewTask("setup")
+	payload := make([]byte, cfg.MeanSize)
+	for w := 0; w < cfg.Threads; w++ {
+		dir := fmt.Sprintf("/srv%d", w)
+		if err := tg.M.Mkdir(setup, dir); err != nil {
+			return Result{}, err
+		}
+		for i := 0; i < cfg.Files; i++ {
+			if err := tg.M.WriteFile(setup, fmt.Sprintf("%s/f%05d", dir, i), payload); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	if err := tg.M.Sync(setup); err != nil {
+		return Result{}, err
+	}
+
+	name := fmt.Sprintf("fileserver-%dt", cfg.Threads)
+	res := runWorkers(tg, name, cfg.Threads, setup.Clk.Now(), cfg.Duration,
+		func(w int, task *kernel.Task, deadline int64, pace func()) (int64, int64, error) {
+			rng := rand.New(rand.NewSource(cfg.Seed + 1000 + int64(w)))
+			dir := fmt.Sprintf("/srv%d", w)
+			appendBuf := make([]byte, 16<<10)
+			next := cfg.Files
+			var ops, bytes int64
+			for task.Clk.NowNS() < deadline && (cfg.MaxOps == 0 || ops < cfg.MaxOps) {
+				pace()
+				task.Charge(task.Model().AppOpOverhead)
+				// createfile + writewholefile
+				p := fmt.Sprintf("%s/f%05d", dir, next)
+				next++
+				if err := tg.M.WriteFile(task, p, payload); err != nil {
+					return ops, bytes, err
+				}
+				ops += 2
+				bytes += int64(len(payload))
+				// appendfilerand
+				q := fmt.Sprintf("%s/f%05d", dir, rng.Intn(next))
+				if f, err := tg.M.Open(task, q, fsapi.OWronly|fsapi.OAppend|fsapi.OCreate); err == nil {
+					if _, err := f.Write(task, appendBuf); err == nil {
+						bytes += int64(len(appendBuf))
+					}
+					_ = tg.M.Close(task, f)
+				}
+				ops++
+				// readwholefile
+				r := fmt.Sprintf("%s/f%05d", dir, rng.Intn(next))
+				if data, err := tg.M.ReadFile(task, r); err == nil {
+					bytes += int64(len(data))
+				}
+				ops++
+				// deletefile
+				d := fmt.Sprintf("%s/f%05d", dir, rng.Intn(next))
+				if err := tg.M.Unlink(task, d); err != nil && !errors.Is(err, fsapi.ErrNotExist) {
+					return ops, bytes, err
+				}
+				ops++
+			}
+			return ops, bytes, nil
+		})
+	return res, nil
+}
+
+// UntarSpec describes the synthetic source tree for the untar-Linux
+// workload: the shape of a kernel source archive scaled down.
+type UntarSpec struct {
+	Dirs        int // directories
+	FilesPerDir int
+	MeanSize    int // mean file size in bytes
+	Seed        int64
+}
+
+// DefaultUntarSpec approximates the Linux source tree's shape at reduced
+// scale (the real tree: ~4.5k directories, ~70k files, ~14 KiB mean).
+func DefaultUntarSpec() UntarSpec {
+	return UntarSpec{Dirs: 120, FilesPerDir: 18, MeanSize: 14 << 10, Seed: 41}
+}
+
+// Untar replays extracting the archive: create each directory, create and
+// write each file within it (single-threaded, like tar). It reports total
+// elapsed virtual time — Table 6's untar row measures seconds, lower is
+// better.
+func Untar(tg Target, spec UntarSpec) (Result, error) {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	res := runWorkers(tg, "untar", 1, 0, time.Hour,
+		func(w int, task *kernel.Task, deadline int64, pace func()) (int64, int64, error) {
+			var ops, bytes int64
+			buf := make([]byte, 1<<20)
+			rng.Read(buf)
+			for d := 0; d < spec.Dirs; d++ {
+				dir := fmt.Sprintf("/linux/dir%04d", d)
+				if d == 0 {
+					if err := tg.M.Mkdir(task, "/linux"); err != nil {
+						return ops, bytes, err
+					}
+				}
+				if err := tg.M.Mkdir(task, dir); err != nil {
+					return ops, bytes, err
+				}
+				ops++
+				for i := 0; i < spec.FilesPerDir; i++ {
+					// Size distribution: mostly small, a few large, like a
+					// source tree.
+					size := spec.MeanSize/2 + rng.Intn(spec.MeanSize)
+					if rng.Intn(40) == 0 {
+						size *= 12
+					}
+					if size > len(buf) {
+						size = len(buf)
+					}
+					p := fmt.Sprintf("%s/file%04d.c", dir, i)
+					if err := tg.M.WriteFile(task, p, buf[:size]); err != nil {
+						return ops, bytes, err
+					}
+					ops++
+					bytes += int64(size)
+				}
+			}
+			// tar finishes with the data on disk.
+			if err := tg.M.Sync(task); err != nil {
+				return ops, bytes, err
+			}
+			return ops, bytes, nil
+		})
+	return res, nil
+}

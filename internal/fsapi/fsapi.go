@@ -1,0 +1,106 @@
+// Package fsapi defines the types shared by every layer of the stack: the
+// simulated kernel's VFS, the Bento framework, the FUSE transport, and the
+// file-system implementations. It corresponds to the handful of kernel
+// headers (stat, dirent, errno) that all of those share in Linux.
+package fsapi
+
+import "errors"
+
+// PageSize is the kernel page size; the page cache, the FUSE transport and
+// the cost model all operate in these units.
+const PageSize = 4096
+
+// Ino identifies an inode within one file system.
+type Ino uint64
+
+// RootIno is the conventional inode number of a file system root. Both
+// xv6 and the ext4-like file system use 1.
+const RootIno Ino = 1
+
+// FileType is the subset of mode bits the simulation needs.
+type FileType uint8
+
+// File types.
+const (
+	TypeInvalid FileType = iota
+	TypeFile
+	TypeDir
+	TypeSymlink
+)
+
+// String returns a one-letter type tag as used by ls-style listings.
+func (t FileType) String() string {
+	switch t {
+	case TypeFile:
+		return "-"
+	case TypeDir:
+		return "d"
+	case TypeSymlink:
+		return "l"
+	default:
+		return "?"
+	}
+}
+
+// Stat is the attribute block returned by lookup/getattr.
+type Stat struct {
+	Ino   Ino
+	Type  FileType
+	Size  int64
+	Nlink uint32
+}
+
+// DirEntry is one directory record.
+type DirEntry struct {
+	Name string
+	Ino  Ino
+	Type FileType
+}
+
+// FSStat summarizes a file system for statfs.
+type FSStat struct {
+	TotalBlocks int64
+	FreeBlocks  int64
+	TotalInodes int64
+	FreeInodes  int64
+}
+
+// Open flags (a subset of POSIX).
+const (
+	ORdonly = 0
+	OWronly = 1 << iota
+	ORdwr
+	OCreate
+	OTrunc
+	OAppend
+	OExcl
+)
+
+// Errno-style errors. File systems return these; the syscall layer passes
+// them through so callers can errors.Is against the failure class exactly
+// as kernel code switches on -ENOENT and friends.
+var (
+	ErrNotExist     = errors.New("no such file or directory")         // ENOENT
+	ErrExist        = errors.New("file exists")                       // EEXIST
+	ErrNotDir       = errors.New("not a directory")                   // ENOTDIR
+	ErrIsDir        = errors.New("is a directory")                    // EISDIR
+	ErrNotEmpty     = errors.New("directory not empty")               // ENOTEMPTY
+	ErrNoSpace      = errors.New("no space left on device")           // ENOSPC
+	ErrNoInodes     = errors.New("no free inodes")                    // ENOSPC (inode table)
+	ErrNameTooLong  = errors.New("file name too long")                // ENAMETOOLONG
+	ErrInvalid      = errors.New("invalid argument")                  // EINVAL
+	ErrBadFD        = errors.New("bad file descriptor")               // EBADF
+	ErrFileTooBig   = errors.New("file too large")                    // EFBIG
+	ErrReadOnly     = errors.New("read-only file system")             // EROFS
+	ErrNotSupported = errors.New("operation not supported")           // ENOTSUP
+	ErrBusy         = errors.New("device or resource busy")           // EBUSY
+	ErrIO           = errors.New("input/output error")                // EIO
+	ErrStale        = errors.New("stale file handle")                 // ESTALE
+	ErrXDev         = errors.New("invalid cross-device link")         // EXDEV
+	ErrPerm         = errors.New("operation not permitted")           // EPERM
+	ErrTooManyLinks = errors.New("too many links")                    // EMLINK
+	ErrCorrupt      = errors.New("structure needs cleaning (fsck)")   // EUCLEAN
+	ErrAgain        = errors.New("resource temporarily unavailable")  // EAGAIN
+	ErrNoSys        = errors.New("function not implemented")          // ENOSYS
+	ErrInterrupted  = errors.New("interrupted system call (upgrade)") // EINTR
+)

@@ -1,0 +1,471 @@
+package fuse
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"bento/internal/blockdev"
+	"bento/internal/core"
+	"bento/internal/fsapi"
+	"bento/internal/kernel"
+)
+
+// maxWritePages caps one WRITE request at the FUSE default max_pages (32
+// pages = 128 KiB); larger write-back runs are split into several
+// requests, each paying the full transport cost.
+const maxWritePages = 32
+
+// Type registers a FUSE mount whose daemon hosts the file system built by
+// Factory — in the experiments, the same xv6 implementation the Bento
+// variant uses, initialized with the userspace disk.
+type Type struct {
+	TypeName string
+	// Factory builds the userspace file system hosted by the daemon.
+	Factory func() core.FileSystem
+	// DiskCacheBlocks sizes the daemon's user-level buffer cache.
+	DiskCacheBlocks int
+}
+
+// Name implements kernel.FileSystemType.
+func (tt Type) Name() string {
+	if tt.TypeName == "" {
+		return "fuse"
+	}
+	return tt.TypeName
+}
+
+// Mount implements kernel.FileSystemType: start the daemon (opening the
+// disk file O_DIRECT) and attach the kernel driver to it.
+func (tt Type) Mount(t *kernel.Task, dev *blockdev.Device) (kernel.FileSystem, error) {
+	fs := tt.Factory()
+	ud := NewUserDisk(dev, tt.DiskCacheBlocks)
+	if err := fs.Init(t, ud); err != nil {
+		return nil, fmt.Errorf("fuse: daemon init: %w", err)
+	}
+	sess := &Session{fs: fs}
+	return &Driver{sess: sess}, nil
+}
+
+// Session is the userspace daemon: it owns the hosted file system and
+// serves decoded requests one at a time (the single-threaded libfuse
+// loop). The gate serializes both host execution and virtual time.
+type Session struct {
+	fs core.FileSystem
+
+	mu     sync.Mutex
+	freeAt int64 // virtual time the daemon finishes its current request
+
+	requests atomic.Int64
+	bytesIn  atomic.Int64
+	bytesOut atomic.Int64
+}
+
+// Requests reports how many requests the daemon served.
+func (s *Session) Requests() int64 { return s.requests.Load() }
+
+// FS exposes the hosted file system (tests).
+func (s *Session) FS() core.FileSystem { return s.fs }
+
+// dispatch decodes and executes one request on the daemon. Caller holds
+// the daemon gate.
+func (s *Session) dispatch(t *kernel.Task, req *Request) *Reply {
+	rep := &Reply{Unique: req.Unique}
+	fail := func(err error) *Reply {
+		rep.Errno = ErrnoFor(err)
+		return rep
+	}
+	ok := func(st fsapi.Stat) *Reply {
+		rep.Attr = StatToWire(st)
+		return rep
+	}
+	switch req.Op {
+	case OpLookup:
+		st, err := s.fs.Lookup(t, fsapi.Ino(req.Nodeid), req.Name)
+		if err != nil {
+			return fail(err)
+		}
+		return ok(st)
+	case OpGetAttr:
+		st, err := s.fs.GetAttr(t, fsapi.Ino(req.Nodeid))
+		if err != nil {
+			return fail(err)
+		}
+		return ok(st)
+	case OpSetAttr:
+		if err := s.fs.SetAttr(t, fsapi.Ino(req.Nodeid), req.Off); err != nil {
+			return fail(err)
+		}
+		return rep
+	case OpCreate:
+		st, err := s.fs.Create(t, fsapi.Ino(req.Nodeid), req.Name)
+		if err != nil {
+			return fail(err)
+		}
+		return ok(st)
+	case OpMkdir:
+		st, err := s.fs.Mkdir(t, fsapi.Ino(req.Nodeid), req.Name)
+		if err != nil {
+			return fail(err)
+		}
+		return ok(st)
+	case OpUnlink:
+		return fail(s.fs.Unlink(t, fsapi.Ino(req.Nodeid), req.Name))
+	case OpRmdir:
+		return fail(s.fs.Rmdir(t, fsapi.Ino(req.Nodeid), req.Name))
+	case OpRename:
+		return fail(s.fs.Rename(t, fsapi.Ino(req.Nodeid), req.Name, fsapi.Ino(req.Target), req.Name2))
+	case OpLink:
+		st, err := s.fs.Link(t, fsapi.Ino(req.Target), fsapi.Ino(req.Nodeid), req.Name)
+		if err != nil {
+			return fail(err)
+		}
+		return ok(st)
+	case OpOpen:
+		return fail(s.fs.Open(t, fsapi.Ino(req.Nodeid)))
+	case OpRelease:
+		return fail(s.fs.Release(t, fsapi.Ino(req.Nodeid)))
+	case OpRead:
+		buf := make([]byte, req.Size)
+		n, err := s.fs.Read(t, fsapi.Ino(req.Nodeid), req.Off, buf)
+		if err != nil {
+			return fail(err)
+		}
+		rep.Data = buf[:n]
+		return rep
+	case OpWrite:
+		n, err := s.fs.Write(t, fsapi.Ino(req.Nodeid), req.Off, req.Data)
+		if err != nil {
+			return fail(err)
+		}
+		rep.Attr.Size = int64(n)
+		return rep
+	case OpFsync:
+		return fail(s.fs.Fsync(t, fsapi.Ino(req.Nodeid), req.Flags != 0))
+	case OpReadDir:
+		ents, err := s.fs.ReadDir(t, fsapi.Ino(req.Nodeid))
+		if err != nil {
+			return fail(err)
+		}
+		rep.Data = encodeDirents(ents)
+		return rep
+	case OpStatFS:
+		st, err := s.fs.StatFS(t)
+		if err != nil {
+			return fail(err)
+		}
+		rep.Data = encodeFSStat(st)
+		return rep
+	case OpSyncFS:
+		return fail(s.fs.SyncFS(t))
+	case OpDestroy:
+		return fail(s.fs.Destroy(t))
+	default:
+		return fail(fsapi.ErrNotSupported)
+	}
+}
+
+// Driver is the kernel side: it implements the simulated VFS interface by
+// packaging every call as a wire request, passing it through the
+// transport cost model and the daemon gate, and decoding the reply.
+type Driver struct {
+	sess   *Session
+	unique atomic.Uint64
+}
+
+var (
+	_ kernel.FileSystem  = (*Driver)(nil)
+	_ kernel.BatchWriter = (*Driver)(nil)
+)
+
+// Session exposes the daemon (tests and stats).
+func (d *Driver) Session() *Session { return d.sess }
+
+// roundTrip carries one request to the daemon and back, charging the
+// transport costs the paper attributes to FUSE: marshaling, copies,
+// context switches, and daemon serialization.
+func (d *Driver) roundTrip(t *kernel.Task, req *Request) (*Reply, error) {
+	m := t.Model()
+	req.Unique = d.unique.Add(1)
+
+	// Kernel side: marshal, copy to the daemon, wake it.
+	t.Charge(m.FuseMsg)
+	wire := EncodeRequest(req)
+	t.Charge(m.Copy(len(wire)))
+	t.Charge(m.CtxSwitch)
+	d.sess.bytesIn.Add(int64(len(wire)))
+
+	// Daemon gate: single-threaded service in virtual time and host time.
+	d.sess.mu.Lock()
+	if d.sess.freeAt > t.Clk.NowNS() {
+		t.Clk.AdvanceTo(d.sess.freeAt)
+	}
+	dreq, err := DecodeRequest(wire)
+	var rep *Reply
+	if err != nil {
+		rep = &Reply{Unique: req.Unique, Errno: ErrnoFor(err)}
+	} else {
+		d.sess.requests.Add(1)
+		t.Charge(m.FuseMsg) // daemon-side parse/dispatch
+		rep = d.sess.dispatch(t, dreq)
+	}
+	d.sess.freeAt = t.Clk.NowNS()
+	d.sess.mu.Unlock()
+
+	// Reply path: marshal, copy back, wake the caller.
+	t.Charge(m.FuseMsg)
+	wireRep := EncodeReply(rep)
+	t.Charge(m.Copy(len(wireRep)))
+	t.Charge(m.CtxSwitch)
+	d.sess.bytesOut.Add(int64(len(wireRep)))
+
+	out, err := DecodeReply(wireRep)
+	if err != nil {
+		return nil, err
+	}
+	if out.Errno != 0 {
+		return out, ErrFromErrno(out.Errno)
+	}
+	return out, nil
+}
+
+// Root implements kernel.FileSystem.
+func (d *Driver) Root() fsapi.Ino { return fsapi.RootIno }
+
+// Lookup implements kernel.FileSystem.
+func (d *Driver) Lookup(t *kernel.Task, dir fsapi.Ino, name string) (fsapi.Stat, error) {
+	rep, err := d.roundTrip(t, &Request{Op: OpLookup, Nodeid: uint64(dir), Name: name})
+	if err != nil {
+		return fsapi.Stat{}, err
+	}
+	return rep.Attr.WireToStat(), nil
+}
+
+// GetAttr implements kernel.FileSystem.
+func (d *Driver) GetAttr(t *kernel.Task, ino fsapi.Ino) (fsapi.Stat, error) {
+	rep, err := d.roundTrip(t, &Request{Op: OpGetAttr, Nodeid: uint64(ino)})
+	if err != nil {
+		return fsapi.Stat{}, err
+	}
+	return rep.Attr.WireToStat(), nil
+}
+
+// SetSize implements kernel.FileSystem.
+func (d *Driver) SetSize(t *kernel.Task, ino fsapi.Ino, size int64) error {
+	_, err := d.roundTrip(t, &Request{Op: OpSetAttr, Nodeid: uint64(ino), Off: size})
+	return err
+}
+
+// Create implements kernel.FileSystem.
+func (d *Driver) Create(t *kernel.Task, dir fsapi.Ino, name string) (fsapi.Stat, error) {
+	rep, err := d.roundTrip(t, &Request{Op: OpCreate, Nodeid: uint64(dir), Name: name})
+	if err != nil {
+		return fsapi.Stat{}, err
+	}
+	return rep.Attr.WireToStat(), nil
+}
+
+// Mkdir implements kernel.FileSystem.
+func (d *Driver) Mkdir(t *kernel.Task, dir fsapi.Ino, name string) (fsapi.Stat, error) {
+	rep, err := d.roundTrip(t, &Request{Op: OpMkdir, Nodeid: uint64(dir), Name: name})
+	if err != nil {
+		return fsapi.Stat{}, err
+	}
+	return rep.Attr.WireToStat(), nil
+}
+
+// Unlink implements kernel.FileSystem.
+func (d *Driver) Unlink(t *kernel.Task, dir fsapi.Ino, name string) error {
+	_, err := d.roundTrip(t, &Request{Op: OpUnlink, Nodeid: uint64(dir), Name: name})
+	return err
+}
+
+// Rmdir implements kernel.FileSystem.
+func (d *Driver) Rmdir(t *kernel.Task, dir fsapi.Ino, name string) error {
+	_, err := d.roundTrip(t, &Request{Op: OpRmdir, Nodeid: uint64(dir), Name: name})
+	return err
+}
+
+// Rename implements kernel.FileSystem.
+func (d *Driver) Rename(t *kernel.Task, odir fsapi.Ino, oname string, ndir fsapi.Ino, nname string) error {
+	_, err := d.roundTrip(t, &Request{Op: OpRename, Nodeid: uint64(odir), Name: oname, Target: uint64(ndir), Name2: nname})
+	return err
+}
+
+// Link implements kernel.FileSystem.
+func (d *Driver) Link(t *kernel.Task, ino fsapi.Ino, dir fsapi.Ino, name string) (fsapi.Stat, error) {
+	rep, err := d.roundTrip(t, &Request{Op: OpLink, Nodeid: uint64(dir), Target: uint64(ino), Name: name})
+	if err != nil {
+		return fsapi.Stat{}, err
+	}
+	return rep.Attr.WireToStat(), nil
+}
+
+// ReadDir implements kernel.FileSystem.
+func (d *Driver) ReadDir(t *kernel.Task, dir fsapi.Ino) ([]fsapi.DirEntry, error) {
+	rep, err := d.roundTrip(t, &Request{Op: OpReadDir, Nodeid: uint64(dir)})
+	if err != nil {
+		return nil, err
+	}
+	return decodeDirents(rep.Data)
+}
+
+// Open implements kernel.FileSystem.
+func (d *Driver) Open(t *kernel.Task, ino fsapi.Ino) error {
+	_, err := d.roundTrip(t, &Request{Op: OpOpen, Nodeid: uint64(ino)})
+	return err
+}
+
+// Release implements kernel.FileSystem.
+func (d *Driver) Release(t *kernel.Task, ino fsapi.Ino) error {
+	_, err := d.roundTrip(t, &Request{Op: OpRelease, Nodeid: uint64(ino)})
+	return err
+}
+
+// ReadPage implements kernel.FileSystem.
+func (d *Driver) ReadPage(t *kernel.Task, ino fsapi.Ino, pg int64, buf []byte) error {
+	rep, err := d.roundTrip(t, &Request{Op: OpRead, Nodeid: uint64(ino), Off: pg * fsapi.PageSize, Size: uint32(len(buf))})
+	if err != nil {
+		return err
+	}
+	n := copy(buf, rep.Data)
+	clear(buf[n:])
+	return nil
+}
+
+// WritePage implements kernel.FileSystem.
+func (d *Driver) WritePage(t *kernel.Task, ino fsapi.Ino, pg int64, buf []byte, newSize int64) error {
+	return d.WritePages(t, ino, pg, [][]byte{buf}, newSize)
+}
+
+// WritePages implements kernel.BatchWriter: the FUSE writeback cache
+// batches dirty pages into WRITE requests of up to max_pages each.
+func (d *Driver) WritePages(t *kernel.Task, ino fsapi.Ino, pg int64, pages [][]byte, newSize int64) error {
+	for start := 0; start < len(pages); start += maxWritePages {
+		end := start + maxWritePages
+		if end > len(pages) {
+			end = len(pages)
+		}
+		off := (pg + int64(start)) * fsapi.PageSize
+		if off >= newSize {
+			return nil
+		}
+		total := int64(end-start) * fsapi.PageSize
+		if off+total > newSize {
+			total = newSize - off
+		}
+		data := make([]byte, total)
+		var copied int64
+		for _, p := range pages[start:end] {
+			if copied >= total {
+				break
+			}
+			n := int64(len(p))
+			if copied+n > total {
+				n = total - copied
+			}
+			copy(data[copied:], p[:n])
+			copied += n
+		}
+		rep, err := d.roundTrip(t, &Request{Op: OpWrite, Nodeid: uint64(ino), Off: off, Data: data})
+		if err != nil {
+			return err
+		}
+		if rep.Attr.Size != total {
+			return fmt.Errorf("fuse: short write %d of %d: %w", rep.Attr.Size, total, fsapi.ErrIO)
+		}
+	}
+	return nil
+}
+
+// Fsync implements kernel.FileSystem.
+func (d *Driver) Fsync(t *kernel.Task, ino fsapi.Ino, dataOnly bool) error {
+	var fl uint32
+	if dataOnly {
+		fl = 1
+	}
+	_, err := d.roundTrip(t, &Request{Op: OpFsync, Nodeid: uint64(ino), Flags: fl})
+	return err
+}
+
+// Sync implements kernel.FileSystem.
+func (d *Driver) Sync(t *kernel.Task) error {
+	_, err := d.roundTrip(t, &Request{Op: OpSyncFS})
+	return err
+}
+
+// StatFS implements kernel.FileSystem.
+func (d *Driver) StatFS(t *kernel.Task) (fsapi.FSStat, error) {
+	rep, err := d.roundTrip(t, &Request{Op: OpStatFS})
+	if err != nil {
+		return fsapi.FSStat{}, err
+	}
+	return decodeFSStat(rep.Data)
+}
+
+// Unmount implements kernel.FileSystem.
+func (d *Driver) Unmount(t *kernel.Task) error {
+	if _, err := d.roundTrip(t, &Request{Op: OpSyncFS}); err != nil {
+		return err
+	}
+	_, err := d.roundTrip(t, &Request{Op: OpDestroy})
+	return err
+}
+
+// --- payload codecs ---
+
+func encodeDirents(ents []fsapi.DirEntry) []byte {
+	var out []byte
+	var tmp [11]byte
+	for _, e := range ents {
+		binary.LittleEndian.PutUint64(tmp[0:], uint64(e.Ino))
+		tmp[8] = uint8(e.Type)
+		binary.LittleEndian.PutUint16(tmp[9:], uint16(len(e.Name)))
+		out = append(out, tmp[:]...)
+		out = append(out, e.Name...)
+	}
+	return out
+}
+
+func decodeDirents(data []byte) ([]fsapi.DirEntry, error) {
+	var out []fsapi.DirEntry
+	for len(data) > 0 {
+		if len(data) < 11 {
+			return nil, fmt.Errorf("fuse: truncated dirent: %w", fsapi.ErrInvalid)
+		}
+		ino := binary.LittleEndian.Uint64(data[0:])
+		typ := fsapi.FileType(data[8])
+		nl := int(binary.LittleEndian.Uint16(data[9:]))
+		data = data[11:]
+		if len(data) < nl {
+			return nil, fmt.Errorf("fuse: truncated dirent name: %w", fsapi.ErrInvalid)
+		}
+		out = append(out, fsapi.DirEntry{Ino: fsapi.Ino(ino), Type: typ, Name: string(data[:nl])})
+		data = data[nl:]
+	}
+	return out, nil
+}
+
+func encodeFSStat(st fsapi.FSStat) []byte {
+	buf := make([]byte, 32)
+	le := binary.LittleEndian
+	le.PutUint64(buf[0:], uint64(st.TotalBlocks))
+	le.PutUint64(buf[8:], uint64(st.FreeBlocks))
+	le.PutUint64(buf[16:], uint64(st.TotalInodes))
+	le.PutUint64(buf[24:], uint64(st.FreeInodes))
+	return buf
+}
+
+func decodeFSStat(data []byte) (fsapi.FSStat, error) {
+	if len(data) < 32 {
+		return fsapi.FSStat{}, fmt.Errorf("fuse: truncated statfs: %w", fsapi.ErrInvalid)
+	}
+	le := binary.LittleEndian
+	return fsapi.FSStat{
+		TotalBlocks: int64(le.Uint64(data[0:])),
+		FreeBlocks:  int64(le.Uint64(data[8:])),
+		TotalInodes: int64(le.Uint64(data[16:])),
+		FreeInodes:  int64(le.Uint64(data[24:])),
+	}, nil
+}

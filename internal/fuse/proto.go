@@ -1,0 +1,254 @@
+// Package fuse simulates the FUSE transport the paper uses as its
+// userspace baseline: a kernel driver that packages VFS operations into
+// wire-format requests, a userspace daemon that serves them, and a
+// userspace storage layer doing O_DIRECT block I/O on the "disk file".
+//
+// The file system hosted by the daemon is the *same* xv6 code as the
+// Bento variant (internal/xv6/bentoimpl), initialized with the userspace
+// Disk instead of the kernel SuperBlock — the paper's observation that
+// "the code for this version is nearly identical to the code written
+// using our framework", and the §4.9 run-the-same-code-in-userspace
+// architecture.
+//
+// Costs modeled per operation: request/reply marshaling, data copies
+// across the user/kernel boundary, two context switches, daemon
+// serialization, per-block syscalls for storage access, and — dominating
+// the paper's write-path results — a real device FLUSH whenever the
+// userspace file system needs durability, because fsync on the disk file
+// is the only ordering primitive userspace has.
+package fuse
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"bento/internal/fsapi"
+)
+
+// Opcode identifies a FUSE request type (subset of the low-level API).
+type Opcode uint32
+
+// Opcodes.
+const (
+	OpLookup Opcode = iota + 1
+	OpGetAttr
+	OpSetAttr
+	OpCreate
+	OpMkdir
+	OpUnlink
+	OpRmdir
+	OpRename
+	OpLink
+	OpOpen
+	OpRelease
+	OpRead
+	OpWrite
+	OpFsync
+	OpReadDir
+	OpStatFS
+	OpSyncFS
+	OpInit
+	OpDestroy
+)
+
+// String names the opcode for diagnostics.
+func (o Opcode) String() string {
+	names := map[Opcode]string{
+		OpLookup: "LOOKUP", OpGetAttr: "GETATTR", OpSetAttr: "SETATTR",
+		OpCreate: "CREATE", OpMkdir: "MKDIR", OpUnlink: "UNLINK",
+		OpRmdir: "RMDIR", OpRename: "RENAME", OpLink: "LINK",
+		OpOpen: "OPEN", OpRelease: "RELEASE", OpRead: "READ",
+		OpWrite: "WRITE", OpFsync: "FSYNC", OpReadDir: "READDIR",
+		OpStatFS: "STATFS", OpSyncFS: "SYNCFS", OpInit: "INIT", OpDestroy: "DESTROY",
+	}
+	if n, ok := names[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("OP(%d)", uint32(o))
+}
+
+// Request is one FUSE request as marshaled through /dev/fuse. Nodeid and
+// Target carry inode numbers; Name and Name2 carry path components; Off,
+// Size carry I/O geometry; Data carries write payloads.
+type Request struct {
+	Op     Opcode
+	Unique uint64
+	Nodeid uint64
+	Target uint64
+	Off    int64
+	Size   uint32
+	Flags  uint32
+	Name   string
+	Name2  string
+	Data   []byte
+}
+
+// Reply is the daemon's answer. Errno is 0 on success; Attr carries
+// stat-like payloads; Data carries read results or directory listings.
+type Reply struct {
+	Unique uint64
+	Errno  int32
+	Attr   WireAttr
+	Data   []byte
+}
+
+// WireAttr is the on-wire attribute block.
+type WireAttr struct {
+	Ino   uint64
+	Size  int64
+	Nlink uint32
+	Kind  uint8
+}
+
+// StatToWire converts a kernel stat to the wire form.
+func StatToWire(st fsapi.Stat) WireAttr {
+	return WireAttr{Ino: uint64(st.Ino), Size: st.Size, Nlink: st.Nlink, Kind: uint8(st.Type)}
+}
+
+// WireToStat converts back.
+func (w WireAttr) WireToStat() fsapi.Stat {
+	return fsapi.Stat{Ino: fsapi.Ino(w.Ino), Size: w.Size, Nlink: w.Nlink, Type: fsapi.FileType(w.Kind)}
+}
+
+const reqHeaderSize = 4 + 8 + 8 + 8 + 8 + 4 + 4 + 2 + 2 // fixed fields + name lengths
+
+// EncodeRequest marshals r into wire bytes.
+func EncodeRequest(r *Request) []byte {
+	buf := make([]byte, reqHeaderSize+len(r.Name)+len(r.Name2)+len(r.Data))
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:], uint32(r.Op))
+	le.PutUint64(buf[4:], r.Unique)
+	le.PutUint64(buf[12:], r.Nodeid)
+	le.PutUint64(buf[20:], r.Target)
+	le.PutUint64(buf[28:], uint64(r.Off))
+	le.PutUint32(buf[36:], r.Size)
+	le.PutUint32(buf[40:], r.Flags)
+	le.PutUint16(buf[44:], uint16(len(r.Name)))
+	le.PutUint16(buf[46:], uint16(len(r.Name2)))
+	n := reqHeaderSize
+	n += copy(buf[n:], r.Name)
+	n += copy(buf[n:], r.Name2)
+	copy(buf[n:], r.Data)
+	return buf
+}
+
+// DecodeRequest unmarshals wire bytes into a request.
+func DecodeRequest(buf []byte) (*Request, error) {
+	if len(buf) < reqHeaderSize {
+		return nil, fmt.Errorf("fuse: short request (%d bytes): %w", len(buf), fsapi.ErrInvalid)
+	}
+	le := binary.LittleEndian
+	r := &Request{
+		Op:     Opcode(le.Uint32(buf[0:])),
+		Unique: le.Uint64(buf[4:]),
+		Nodeid: le.Uint64(buf[12:]),
+		Target: le.Uint64(buf[20:]),
+		Off:    int64(le.Uint64(buf[28:])),
+		Size:   le.Uint32(buf[36:]),
+		Flags:  le.Uint32(buf[40:]),
+	}
+	n1 := int(le.Uint16(buf[44:]))
+	n2 := int(le.Uint16(buf[46:]))
+	rest := buf[reqHeaderSize:]
+	if len(rest) < n1+n2 {
+		return nil, fmt.Errorf("fuse: truncated names: %w", fsapi.ErrInvalid)
+	}
+	r.Name = string(rest[:n1])
+	r.Name2 = string(rest[n1 : n1+n2])
+	if len(rest) > n1+n2 {
+		r.Data = append([]byte(nil), rest[n1+n2:]...)
+	}
+	return r, nil
+}
+
+const repHeaderSize = 8 + 4 + 8 + 8 + 4 + 1 + 3 // unique, errno, attr, pad
+
+// EncodeReply marshals a reply.
+func EncodeReply(p *Reply) []byte {
+	buf := make([]byte, repHeaderSize+len(p.Data))
+	le := binary.LittleEndian
+	le.PutUint64(buf[0:], p.Unique)
+	le.PutUint32(buf[8:], uint32(p.Errno))
+	le.PutUint64(buf[12:], p.Attr.Ino)
+	le.PutUint64(buf[20:], uint64(p.Attr.Size))
+	le.PutUint32(buf[28:], p.Attr.Nlink)
+	buf[32] = p.Attr.Kind
+	copy(buf[repHeaderSize:], p.Data)
+	return buf
+}
+
+// DecodeReply unmarshals a reply.
+func DecodeReply(buf []byte) (*Reply, error) {
+	if len(buf) < repHeaderSize {
+		return nil, fmt.Errorf("fuse: short reply (%d bytes): %w", len(buf), fsapi.ErrInvalid)
+	}
+	le := binary.LittleEndian
+	p := &Reply{
+		Unique: le.Uint64(buf[0:]),
+		Errno:  int32(le.Uint32(buf[8:])),
+		Attr: WireAttr{
+			Ino:   le.Uint64(buf[12:]),
+			Size:  int64(le.Uint64(buf[20:])),
+			Nlink: le.Uint32(buf[28:]),
+			Kind:  buf[32],
+		},
+	}
+	if len(buf) > repHeaderSize {
+		p.Data = append([]byte(nil), buf[repHeaderSize:]...)
+	}
+	return p, nil
+}
+
+// Errno codes carried on the wire, mapped to/from fsapi errors.
+var errnoTable = []struct {
+	code int32
+	err  error
+}{
+	{2, fsapi.ErrNotExist}, {17, fsapi.ErrExist}, {20, fsapi.ErrNotDir},
+	{21, fsapi.ErrIsDir}, {39, fsapi.ErrNotEmpty}, {28, fsapi.ErrNoSpace},
+	{36, fsapi.ErrNameTooLong}, {22, fsapi.ErrInvalid}, {9, fsapi.ErrBadFD},
+	{27, fsapi.ErrFileTooBig}, {30, fsapi.ErrReadOnly}, {95, fsapi.ErrNotSupported},
+	{16, fsapi.ErrBusy}, {5, fsapi.ErrIO}, {116, fsapi.ErrStale}, {1, fsapi.ErrPerm},
+	{31, fsapi.ErrTooManyLinks}, {117, fsapi.ErrCorrupt},
+}
+
+// ErrnoFor maps an error to its wire code (EIO for unknown errors).
+func ErrnoFor(err error) int32 {
+	if err == nil {
+		return 0
+	}
+	for _, e := range errnoTable {
+		if errorIs(err, e.err) {
+			return e.code
+		}
+	}
+	return 5 // EIO
+}
+
+// ErrFromErrno maps a wire code back to the sentinel error.
+func ErrFromErrno(code int32) error {
+	if code == 0 {
+		return nil
+	}
+	for _, e := range errnoTable {
+		if e.code == code {
+			return e.err
+		}
+	}
+	return fsapi.ErrIO
+}
+
+// errorIs is errors.Is without importing errors in the hot path.
+func errorIs(err, target error) bool {
+	for err != nil {
+		if err == target {
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}

@@ -1,0 +1,206 @@
+package fuse
+
+import (
+	"fmt"
+	"sync"
+
+	"bento/internal/bentoks"
+	"bento/internal/blockdev"
+	"bento/internal/fsapi"
+	"bento/internal/kernel"
+)
+
+// UserDisk implements bentoks.Disk for a file system running in
+// userspace: block I/O goes through the O_DIRECT "disk file" interface
+// (paper §6.2), so every block read or write is a synchronous system
+// call, writes cannot overlap on the device queue, and durability
+// requires fsync of the whole disk file — a full device FLUSH. It keeps
+// a user-level buffer cache, as the paper's Rust FUSE xv6 did.
+type UserDisk struct {
+	dev *blockdev.Device
+
+	mu    sync.Mutex
+	cache map[int]*ubuf
+	cap   int
+	seq   int64
+}
+
+// NewUserDisk opens the disk file O_DIRECT-style over dev.
+func NewUserDisk(dev *blockdev.Device, cacheBlocks int) *UserDisk {
+	if cacheBlocks <= 0 {
+		cacheBlocks = kernel.DefaultBufferCacheCap
+	}
+	return &UserDisk{dev: dev, cache: make(map[int]*ubuf), cap: cacheBlocks}
+}
+
+// ubuf is a userspace cached block.
+type ubuf struct {
+	ud      *UserDisk
+	blk     int
+	data    []byte
+	refs    int
+	dirty   bool
+	lastUse int64
+}
+
+var _ bentoks.Disk = (*UserDisk)(nil)
+
+// BlockSize implements bentoks.Disk.
+func (ud *UserDisk) BlockSize() int { return ud.dev.BlockSize() }
+
+// Blocks implements bentoks.Disk.
+func (ud *UserDisk) Blocks() int { return ud.dev.Blocks() }
+
+// BRead implements bentoks.Disk: a user-cache probe, with a pread(2) of
+// the disk file on a miss.
+func (ud *UserDisk) BRead(t *kernel.Task, blk int) (bentoks.Buffer, error) {
+	return ud.get(t, blk, true)
+}
+
+// BReadNoFill implements bentoks.Disk.
+func (ud *UserDisk) BReadNoFill(t *kernel.Task, blk int) (bentoks.Buffer, error) {
+	return ud.get(t, blk, false)
+}
+
+func (ud *UserDisk) get(t *kernel.Task, blk int, fill bool) (bentoks.Buffer, error) {
+	if blk < 0 || blk >= ud.dev.Blocks() {
+		return nil, fmt.Errorf("userdisk: block %d: %w", blk, fsapi.ErrInvalid)
+	}
+	t.Charge(t.Model().BufferCacheLookup)
+	ud.mu.Lock()
+	ud.seq++
+	if b, ok := ud.cache[blk]; ok {
+		b.refs++
+		b.lastUse = ud.seq
+		ud.mu.Unlock()
+		return b, nil
+	}
+	b := &ubuf{ud: ud, blk: blk, data: make([]byte, ud.dev.BlockSize()), refs: 1, lastUse: ud.seq}
+	ud.evictLocked()
+	ud.cache[blk] = b
+	ud.mu.Unlock()
+
+	if fill {
+		// pread(disk file): syscall + crossing + synchronous device read.
+		t.Charge(t.Model().UserBlockSyscall)
+		t.Charge(t.Model().Copy(len(b.data)))
+		if err := ud.dev.Read(t.Clk, blk, b.data); err != nil {
+			ud.mu.Lock()
+			delete(ud.cache, blk)
+			ud.mu.Unlock()
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+func (ud *UserDisk) evictLocked() {
+	for len(ud.cache) >= ud.cap {
+		victim, use := -1, int64(1<<62)
+		for blk, b := range ud.cache {
+			if b.refs == 0 && !b.dirty && b.lastUse < use {
+				victim, use = blk, b.lastUse
+			}
+		}
+		if victim < 0 {
+			return
+		}
+		delete(ud.cache, victim)
+	}
+}
+
+// WithBuffer implements bentoks.Disk.
+func (ud *UserDisk) WithBuffer(t *kernel.Task, blk int, fn func(bentoks.Buffer) error) error {
+	b, err := ud.BRead(t, blk)
+	if err != nil {
+		return err
+	}
+	defer b.Release()
+	return fn(b)
+}
+
+// SyncDirtyBuffers implements bentoks.Disk: pwrite each dirty block
+// synchronously (O_DIRECT writes cannot be queued from userspace).
+func (ud *UserDisk) SyncDirtyBuffers(t *kernel.Task) error {
+	ud.mu.Lock()
+	var dirty []*ubuf
+	for _, b := range ud.cache {
+		if b.dirty {
+			dirty = append(dirty, b)
+		}
+	}
+	ud.mu.Unlock()
+	for _, b := range dirty {
+		if err := b.WriteSync(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush implements bentoks.Disk: fsync(disk file) — the whole-device
+// FLUSH the paper identifies as the dominant userspace cost ("the whole
+// disk file must be synced every time one block needs to be synced").
+func (ud *UserDisk) Flush(t *kernel.Task) error {
+	t.Charge(t.Model().UserBlockSyscall)
+	return ud.dev.Flush(t.Clk)
+}
+
+// --- ubuf: bentoks.Buffer ---
+
+// BlockNo implements bentoks.Buffer.
+func (b *ubuf) BlockNo() int { return b.blk }
+
+// Data implements bentoks.Buffer.
+func (b *ubuf) Data() ([]byte, error) { return b.data, nil }
+
+// Slice implements bentoks.Buffer.
+func (b *ubuf) Slice(off, n int) ([]byte, error) {
+	if off < 0 || n < 0 || off+n > len(b.data) {
+		return nil, fsapi.ErrInvalid
+	}
+	return b.data[off : off+n], nil
+}
+
+// MarkDirty implements bentoks.Buffer.
+func (b *ubuf) MarkDirty() error {
+	b.ud.mu.Lock()
+	b.dirty = true
+	b.ud.mu.Unlock()
+	return nil
+}
+
+// SubmitWrite implements bentoks.Buffer. From userspace there is no async
+// submission: a pwrite is synchronous, so the "completion" equals the
+// clock after the write — queue-depth batching is structurally
+// unavailable, one of the paper's FUSE penalties.
+func (b *ubuf) SubmitWrite(t *kernel.Task) (int64, error) {
+	if err := b.WriteSync(t); err != nil {
+		return 0, err
+	}
+	return t.Clk.NowNS(), nil
+}
+
+// WriteSync implements bentoks.Buffer: pwrite(disk file) + wait.
+func (b *ubuf) WriteSync(t *kernel.Task) error {
+	t.Charge(t.Model().UserBlockSyscall)
+	t.Charge(t.Model().Copy(len(b.data)))
+	if err := b.ud.dev.Write(t.Clk, b.blk, b.data); err != nil {
+		return err
+	}
+	b.ud.mu.Lock()
+	b.dirty = false
+	b.ud.mu.Unlock()
+	return nil
+}
+
+// Release implements bentoks.Buffer.
+func (b *ubuf) Release() error {
+	b.ud.mu.Lock()
+	defer b.ud.mu.Unlock()
+	if b.refs <= 0 {
+		return fmt.Errorf("userdisk: double release of block %d: %w", b.blk, fsapi.ErrInvalid)
+	}
+	b.refs--
+	return nil
+}

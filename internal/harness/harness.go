@@ -1,0 +1,171 @@
+// Package harness assembles the paper's evaluation: it mounts each file
+// system variant (Bento, C-kernel/VFS, FUSE, ext4) on a fresh simulated
+// device and regenerates every table and figure of the evaluation
+// section. cmd/bentobench and bench_test.go are thin wrappers over it.
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"bento/internal/blockdev"
+	"bento/internal/core"
+	"bento/internal/costmodel"
+	"bento/internal/ext4"
+	"bento/internal/filebench"
+	"bento/internal/fuse"
+	"bento/internal/kernel"
+	"bento/internal/vclock"
+	"bento/internal/xv6/bentoimpl"
+	"bento/internal/xv6/layout"
+	"bento/internal/xv6/vfsimpl"
+)
+
+// Variant names, matching the paper's bar labels.
+const (
+	VariantBento   = "Bento"    // xv6 in safe code on the Bento framework
+	VariantCKernel = "C-Kernel" // xv6 in C against the VFS layer
+	VariantFUSE    = "FUSE"     // the same xv6 at user level behind FUSE
+	VariantExt4    = "Ext4"     // ext4, data=journal
+)
+
+// XV6Variants is the trio compared in every micro experiment.
+var XV6Variants = []string{VariantBento, VariantCKernel, VariantFUSE}
+
+// AllVariants adds ext4 for the macrobenchmarks (Table 6).
+var AllVariants = []string{VariantBento, VariantCKernel, VariantFUSE, VariantExt4}
+
+// Options configures a harness run.
+type Options struct {
+	Model      *costmodel.Model
+	DevBlocks  int           // device size in 4K blocks
+	NInodes    uint32        // inode table size (xv6 variants)
+	Duration   time.Duration // virtual measurement window
+	MaxOps     int64         // per-thread op cap (bounds host time)
+	MacroFiles int           // dataset scale for macro personalities
+}
+
+// Defaults returns the options used for EXPERIMENTS.md.
+func Defaults() Options {
+	return Options{
+		Model:      costmodel.Default(),
+		DevBlocks:  262144, // 1 GiB
+		NInodes:    65536,
+		Duration:   400 * time.Millisecond,
+		MaxOps:     20000,
+		MacroFiles: 64,
+	}
+}
+
+// Quick returns reduced options for unit tests and -bench runs.
+func Quick() Options {
+	o := Defaults()
+	o.DevBlocks = 65536 // 256 MiB
+	o.NInodes = 8192
+	o.Duration = 60 * time.Millisecond
+	o.MaxOps = 2000
+	o.MacroFiles = 16
+	return o
+}
+
+// NewTarget mkfs's a fresh device and mounts the named variant on it.
+func NewTarget(variant string, o Options) (filebench.Target, error) {
+	k := kernel.New(o.Model)
+	dev, err := blockdev.New(blockdev.Config{Blocks: o.DevBlocks, Model: o.Model})
+	if err != nil {
+		return filebench.Target{}, err
+	}
+	task := k.NewTask("mount")
+
+	switch variant {
+	case VariantBento:
+		if _, err := layout.Mkfs(vclock.NewClock(), dev, o.NInodes); err != nil {
+			return filebench.Target{}, err
+		}
+		if err := bentoimpl.RegisterWith(k, "xv6", bentoimpl.Config{Policy: bentoimpl.PolicyWriteBack}); err != nil {
+			return filebench.Target{}, err
+		}
+		m, err := k.Mount(task, "xv6", "/", dev)
+		if err != nil {
+			return filebench.Target{}, err
+		}
+		return filebench.Target{K: k, M: m}, nil
+
+	case VariantCKernel:
+		if _, err := layout.Mkfs(vclock.NewClock(), dev, o.NInodes); err != nil {
+			return filebench.Target{}, err
+		}
+		if err := k.Register(vfsimpl.Type{}); err != nil {
+			return filebench.Target{}, err
+		}
+		m, err := k.Mount(task, "xv6vfs", "/", dev)
+		if err != nil {
+			return filebench.Target{}, err
+		}
+		return filebench.Target{K: k, M: m}, nil
+
+	case VariantFUSE:
+		if _, err := layout.Mkfs(vclock.NewClock(), dev, o.NInodes); err != nil {
+			return filebench.Target{}, err
+		}
+		// The daemon hosts the same xv6 code as the Bento variant; a
+		// userspace file system can only order its log with fsync, so it
+		// runs with the flush policy.
+		ft := fuse.Type{Factory: func() core.FileSystem {
+			return bentoimpl.New(bentoimpl.Config{Policy: bentoimpl.PolicyFlush})
+		}}
+		if err := k.Register(ft); err != nil {
+			return filebench.Target{}, err
+		}
+		m, err := k.Mount(task, "fuse", "/", dev)
+		if err != nil {
+			return filebench.Target{}, err
+		}
+		return filebench.Target{K: k, M: m}, nil
+
+	case VariantExt4:
+		if err := ext4.Mkfs(task, dev, o.NInodes); err != nil {
+			return filebench.Target{}, err
+		}
+		// Like the xv6 kernel variants, the benchmarked ext4 relies on
+		// completed writes rather than FLUSH barriers (one durability
+		// discipline for all in-kernel file systems; only FUSE must pay
+		// fsync-to-FLUSH, having no other ordering primitive).
+		if err := k.Register(ext4.Type{Cfg: ext4.Config{NoBarriers: true}}); err != nil {
+			return filebench.Target{}, err
+		}
+		m, err := k.Mount(task, "ext4", "/", dev)
+		if err != nil {
+			return filebench.Target{}, err
+		}
+		return filebench.Target{K: k, M: m}, nil
+	}
+	return filebench.Target{}, fmt.Errorf("harness: unknown variant %q", variant)
+}
+
+// Cell is one measured data point of a table/figure.
+type Cell struct {
+	Variant  string
+	Workload string
+	Result   filebench.Result
+}
+
+// Table renders rows×columns of measurements as fixed-width text.
+func Table(title string, colNames []string, rowNames []string, value func(row, col int) string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-14s", "")
+	for _, c := range colNames {
+		fmt.Fprintf(&b, "%14s", c)
+	}
+	b.WriteByte('\n')
+	for r, rn := range rowNames {
+		fmt.Fprintf(&b, "%-14s", rn)
+		for c := range colNames {
+			fmt.Fprintf(&b, "%14s", value(r, c))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,10 @@
+package harness
+
+import "bento/internal/buganalysis"
+
+// Table1Text renders the paper's bug-analysis table with derived
+// statistics.
+func Table1Text() string { return buganalysis.RenderTable1() }
+
+// Table2Text renders the extensibility-mechanism comparison.
+func Table2Text() string { return buganalysis.RenderTable2() }

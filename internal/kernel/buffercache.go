@@ -1,0 +1,252 @@
+package kernel
+
+import (
+	"fmt"
+	"sync"
+
+	"bento/internal/blockdev"
+	"bento/internal/costmodel"
+	"bento/internal/fsapi"
+)
+
+// BufferCache is the kernel's block buffer cache: the sb_bread/brelse
+// interface file systems use for metadata I/O. Buffers are reference
+// counted; clean, unreferenced buffers are evicted in LRU order once the
+// cache reaches capacity.
+type BufferCache struct {
+	dev   *blockdev.Device
+	model *costmodel.Model
+
+	mu    sync.Mutex
+	bufs  map[int]*BufferHead
+	cap   int
+	seq   int64
+	stats BufferCacheStats
+}
+
+// BufferCacheStats counts cache traffic.
+type BufferCacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Writes    int64
+}
+
+// BufferHead is one cached block, the analogue of struct buffer_head. The
+// embedded mutex is the buffer lock (xv6's sleep lock); file systems lock
+// a buffer while reading or mutating its contents.
+type BufferHead struct {
+	sync.Mutex
+	bc      *BufferCache
+	blk     int
+	data    []byte
+	refs    int
+	dirty   bool
+	lastUse int64
+}
+
+// DefaultBufferCacheCap bounds the buffer cache at 4096 blocks (16 MiB of
+// 4K blocks), enough that hot metadata stays resident in every workload.
+const DefaultBufferCacheCap = 4096
+
+// NewBufferCache creates a buffer cache over dev.
+func NewBufferCache(dev *blockdev.Device, model *costmodel.Model, capacity int) *BufferCache {
+	if capacity <= 0 {
+		capacity = DefaultBufferCacheCap
+	}
+	return &BufferCache{
+		dev:   dev,
+		model: model,
+		bufs:  make(map[int]*BufferHead),
+		cap:   capacity,
+	}
+}
+
+// Device reports the underlying block device.
+func (bc *BufferCache) Device() *blockdev.Device { return bc.dev }
+
+// Stats returns a snapshot of cache counters.
+func (bc *BufferCache) Stats() BufferCacheStats {
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	return bc.stats
+}
+
+// Get returns the buffer for blk with its reference count incremented,
+// reading it from the device on a miss (sb_bread). The caller must
+// Release it exactly once.
+func (bc *BufferCache) Get(t *Task, blk int) (*BufferHead, error) {
+	return bc.get(t, blk, true)
+}
+
+// GetNoRead returns the buffer for blk without reading the device even on
+// a miss — for blocks the caller will fully overwrite. The buffer contents
+// are zeroed on a miss.
+func (bc *BufferCache) GetNoRead(t *Task, blk int) (*BufferHead, error) {
+	return bc.get(t, blk, false)
+}
+
+func (bc *BufferCache) get(t *Task, blk int, read bool) (*BufferHead, error) {
+	if blk < 0 || blk >= bc.dev.Blocks() {
+		return nil, fmt.Errorf("buffercache: block %d: %w", blk, fsapi.ErrInvalid)
+	}
+	t.Charge(bc.model.BufferCacheLookup)
+
+	bc.mu.Lock()
+	bc.seq++
+	if b, ok := bc.bufs[blk]; ok {
+		b.refs++
+		b.lastUse = bc.seq
+		bc.stats.Hits++
+		bc.mu.Unlock()
+		return b, nil
+	}
+	bc.stats.Misses++
+	b := &BufferHead{bc: bc, blk: blk, data: make([]byte, bc.dev.BlockSize()), refs: 1, lastUse: bc.seq}
+	bc.evictLocked()
+	bc.bufs[blk] = b
+	bc.mu.Unlock()
+
+	if read {
+		if err := bc.dev.Read(t.Clk, blk, b.data); err != nil {
+			bc.mu.Lock()
+			delete(bc.bufs, blk)
+			bc.mu.Unlock()
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// evictLocked removes clean, unreferenced buffers until under capacity.
+func (bc *BufferCache) evictLocked() {
+	for len(bc.bufs) >= bc.cap {
+		victimBlk, victimUse := -1, int64(1<<62)
+		for blk, b := range bc.bufs {
+			if b.refs == 0 && !b.dirty && b.lastUse < victimUse {
+				victimBlk, victimUse = blk, b.lastUse
+			}
+		}
+		if victimBlk < 0 {
+			return // everything pinned or dirty; allow overflow
+		}
+		delete(bc.bufs, victimBlk)
+		bc.stats.Evictions++
+	}
+}
+
+// SyncDirty submits every dirty buffer to the device as one batch (filling
+// the device queues), waits for completion, and marks them clean. It does
+// NOT issue a FLUSH; callers that need durability also call
+// Device().Flush.
+func (bc *BufferCache) SyncDirty(t *Task) error {
+	bc.mu.Lock()
+	var dirty []*BufferHead
+	for _, b := range bc.bufs {
+		if b.dirty {
+			dirty = append(dirty, b)
+		}
+	}
+	bc.mu.Unlock()
+
+	var last int64
+	for _, b := range dirty {
+		b.Lock()
+		done, err := bc.dev.Submit(t.Clk, b.blk, b.data)
+		if err != nil {
+			b.Unlock()
+			return err
+		}
+		b.dirty = false
+		b.Unlock()
+		bc.mu.Lock()
+		bc.stats.Writes++
+		bc.mu.Unlock()
+		if done > last {
+			last = done
+		}
+	}
+	t.Clk.AdvanceTo(last)
+	return nil
+}
+
+// InvalidateAll drops every buffer. Crash-recovery tests call it after a
+// device crash so stale cached contents cannot mask lost writes. It
+// fails if any buffer is still referenced.
+func (bc *BufferCache) InvalidateAll() error {
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	for _, b := range bc.bufs {
+		if b.refs != 0 {
+			return fmt.Errorf("buffercache: block %d still referenced: %w", b.blk, fsapi.ErrBusy)
+		}
+	}
+	bc.bufs = make(map[int]*BufferHead)
+	return nil
+}
+
+// BlockNo reports which block this buffer caches.
+func (b *BufferHead) BlockNo() int { return b.blk }
+
+// Data exposes the buffer's contents. The caller must hold the buffer
+// lock (or otherwise own the buffer) while touching it.
+func (b *BufferHead) Data() []byte { return b.data }
+
+// MarkDirty flags the buffer as modified. A dirty buffer is written out by
+// SubmitWrite/WriteSync or SyncDirty.
+func (b *BufferHead) MarkDirty() {
+	b.bc.mu.Lock()
+	b.dirty = true
+	b.bc.mu.Unlock()
+}
+
+// Dirty reports whether the buffer has unwritten modifications.
+func (b *BufferHead) Dirty() bool {
+	b.bc.mu.Lock()
+	defer b.bc.mu.Unlock()
+	return b.dirty
+}
+
+// Refs reports the current reference count (for leak diagnostics).
+func (b *BufferHead) Refs() int {
+	b.bc.mu.Lock()
+	defer b.bc.mu.Unlock()
+	return b.refs
+}
+
+// SubmitWrite queues the buffer's contents to the device and returns the
+// completion time without waiting; the buffer is marked clean. Writers
+// batch several SubmitWrites and AdvanceTo the latest completion.
+func (b *BufferHead) SubmitWrite(t *Task) (completion int64, err error) {
+	done, err := b.bc.dev.Submit(t.Clk, b.blk, b.data)
+	if err != nil {
+		return 0, err
+	}
+	b.bc.mu.Lock()
+	b.dirty = false
+	b.bc.stats.Writes++
+	b.bc.mu.Unlock()
+	return done, nil
+}
+
+// WriteSync writes the buffer and waits for completion.
+func (b *BufferHead) WriteSync(t *Task) error {
+	done, err := b.SubmitWrite(t)
+	if err != nil {
+		return err
+	}
+	t.Clk.AdvanceTo(done)
+	return nil
+}
+
+// Release drops one reference (brelse). Releasing an unreferenced buffer
+// is a bug in the caller and returns an error.
+func (b *BufferHead) Release() error {
+	b.bc.mu.Lock()
+	defer b.bc.mu.Unlock()
+	if b.refs <= 0 {
+		return fmt.Errorf("buffercache: double release of block %d: %w", b.blk, fsapi.ErrInvalid)
+	}
+	b.refs--
+	return nil
+}

@@ -1,0 +1,307 @@
+// Package vclock provides virtual-time accounting for the simulated kernel.
+//
+// Every simulated task (an application thread executing a system call, a
+// FUSE daemon worker, a journal commit thread) owns a Clock. Costs charged
+// by the cost model advance the clock; the clock never reads wall time, so
+// benchmark results are a function of the model alone and are stable across
+// host machines.
+//
+// Shared hardware — NVMe queue pairs, a single-threaded FUSE daemon — is a
+// Resource with a fixed number of service channels. A task asking the
+// resource to perform work at virtual time `now` receives a completion time
+// of max(now, earliest-free-channel) + service. Issuing several requests
+// before advancing the clock models asynchronous (queued) submission;
+// advancing the clock to each completion before issuing the next models
+// synchronous submission. The contention behaviour of both patterns emerges
+// from the same primitive.
+package vclock
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Clock is a per-task virtual clock measured in nanoseconds since the start
+// of the simulation. A Clock must only be used by one goroutine at a time;
+// the atomic storage exists so monitors (e.g. deadlock watchdogs) may read
+// it concurrently.
+type Clock struct {
+	ns atomic.Int64
+}
+
+// NewClock returns a clock positioned at virtual time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// NewClockAt returns a clock positioned at the given virtual time. It is
+// used to fork worker clocks from a parent at simulation start.
+func NewClockAt(t time.Duration) *Clock {
+	c := &Clock{}
+	c.ns.Store(int64(t))
+	return c
+}
+
+// Now reports the current virtual time.
+func (c *Clock) Now() time.Duration { return time.Duration(c.ns.Load()) }
+
+// NowNS reports the current virtual time in integer nanoseconds.
+func (c *Clock) NowNS() int64 { return c.ns.Load() }
+
+// Advance moves the clock forward by d. Negative durations are ignored so
+// that cost-model entries may be zeroed without callers special-casing.
+func (c *Clock) Advance(d time.Duration) {
+	if d > 0 {
+		c.ns.Add(int64(d))
+	}
+}
+
+// AdvanceNS moves the clock forward by ns nanoseconds (non-negative).
+func (c *Clock) AdvanceNS(ns int64) {
+	if ns > 0 {
+		c.ns.Add(ns)
+	}
+}
+
+// AdvanceTo moves the clock forward to the absolute virtual time ns. It is
+// a no-op if the clock is already at or past ns; virtual time never runs
+// backwards.
+func (c *Clock) AdvanceTo(ns int64) {
+	for {
+		cur := c.ns.Load()
+		if ns <= cur {
+			return
+		}
+		if c.ns.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// ResourceStats summarizes use of a Resource.
+type ResourceStats struct {
+	Ops        int64         // completed service requests
+	BusyTime   time.Duration // summed service time across channels
+	MaxBacklog time.Duration // largest queueing delay observed
+}
+
+// Resource models shared hardware with a fixed number of identical service
+// channels (NVMe queue pairs, daemon worker threads). It is safe for
+// concurrent use.
+type Resource struct {
+	mu         sync.Mutex
+	name       string
+	free       []int64 // next-free virtual time per channel
+	ops        int64
+	busyNS     int64
+	maxBacklog int64
+}
+
+// NewResource creates a resource with the given number of service channels.
+// channels must be >= 1.
+func NewResource(name string, channels int) *Resource {
+	if channels < 1 {
+		panic(fmt.Sprintf("vclock: resource %q needs >=1 channel, got %d", name, channels))
+	}
+	return &Resource{name: name, free: make([]int64, channels)}
+}
+
+// Name reports the name the resource was created with.
+func (r *Resource) Name() string { return r.name }
+
+// Channels reports the number of service channels.
+func (r *Resource) Channels() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.free)
+}
+
+// Acquire schedules `service` nanoseconds of work on a channel for a
+// request arriving at virtual time `now`, and returns the completion
+// time. The caller decides whether to wait (advance its clock to the
+// completion) or to continue issuing work (asynchronous submission).
+//
+// Channel choice is best-fit: the channel whose free time is closest
+// below `now` (packing work densely with no idle gap), falling back to
+// the earliest-free channel when all are busy past `now`. Min-free
+// selection would strand the idle interval [free, now) on a mostly-idle
+// channel every time a caller runs ahead, silently discarding capacity.
+func (r *Resource) Acquire(now, service int64) (completion int64) {
+	if service < 0 {
+		service = 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	best := -1
+	for i := range r.free {
+		if r.free[i] <= now {
+			if best < 0 || r.free[i] > r.free[best] {
+				best = i
+			}
+		}
+	}
+	if best < 0 {
+		best = 0
+		for i := 1; i < len(r.free); i++ {
+			if r.free[i] < r.free[best] {
+				best = i
+			}
+		}
+	}
+	start := now
+	if r.free[best] > start {
+		start = r.free[best]
+	}
+	if backlog := start - now; backlog > r.maxBacklog {
+		r.maxBacklog = backlog
+	}
+	completion = start + service
+	r.free[best] = completion
+	r.ops++
+	r.busyNS += service
+	return completion
+}
+
+// AcquireSerial schedules work that must run after all previously scheduled
+// work on every channel has finished (a full barrier), e.g. a device FLUSH
+// that cannot be reordered with queued writes. It returns the completion
+// time and leaves every channel busy until then.
+func (r *Resource) AcquireSerial(now, service int64) (completion int64) {
+	if service < 0 {
+		service = 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	start := now
+	for _, f := range r.free {
+		if f > start {
+			start = f
+		}
+	}
+	if backlog := start - now; backlog > r.maxBacklog {
+		r.maxBacklog = backlog
+	}
+	completion = start + service
+	for i := range r.free {
+		r.free[i] = completion
+	}
+	r.ops++
+	r.busyNS += service
+	return completion
+}
+
+// Stats returns a snapshot of accumulated statistics.
+func (r *Resource) Stats() ResourceStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return ResourceStats{
+		Ops:        r.ops,
+		BusyTime:   time.Duration(r.busyNS),
+		MaxBacklog: time.Duration(r.maxBacklog),
+	}
+}
+
+// Reset clears channel occupancy and statistics. Benchmarks call it between
+// phases so warmup traffic does not bill the measured phase.
+func (r *Resource) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.free {
+		r.free[i] = 0
+	}
+	r.ops, r.busyNS, r.maxBacklog = 0, 0, 0
+}
+
+// Group tracks a set of worker clocks belonging to one benchmark run; the
+// run's elapsed virtual time is the maximum over its workers.
+//
+// Group also paces its workers: shared Resources book service at
+// max(now, channel-free), so if one worker races far ahead in *host*
+// order it reserves channel time deep in the virtual future and the idle
+// gaps it leaves are unusable by workers running at earlier virtual
+// times. Pace blocks a worker whose clock is more than PaceWindow ahead
+// of the slowest active worker, bounding that capacity loss — the
+// standard conservative-window technique from parallel discrete-event
+// simulation.
+type Group struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	clocks []*Clock
+	done   map[*Clock]bool
+	start  int64
+}
+
+// PaceWindow bounds how far a worker's virtual clock may run ahead of the
+// slowest active worker in its group.
+const PaceWindow = 2 * time.Millisecond
+
+// NewGroup creates a group whose elapsed time is measured from start.
+func NewGroup(start time.Duration) *Group {
+	g := &Group{start: int64(start), done: make(map[*Clock]bool)}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// NewWorker creates and registers a worker clock starting at the group's
+// start time.
+func (g *Group) NewWorker() *Clock {
+	c := NewClockAt(time.Duration(g.start))
+	g.mu.Lock()
+	g.clocks = append(g.clocks, c)
+	g.mu.Unlock()
+	return c
+}
+
+// minActiveLocked returns the slowest non-done worker clock.
+func (g *Group) minActiveLocked() (int64, bool) {
+	min, any := int64(0), false
+	for _, c := range g.clocks {
+		if g.done[c] {
+			continue
+		}
+		n := c.NowNS()
+		if !any || n < min {
+			min, any = n, true
+		}
+	}
+	return min, any
+}
+
+// Pace blocks until c is within PaceWindow of the slowest active worker.
+// Workers call it between operations (never while holding file-system
+// locks). It must be paired with Done when the worker finishes, or the
+// group stalls.
+func (g *Group) Pace(c *Clock) {
+	g.mu.Lock()
+	g.cond.Broadcast() // our own progress may unblock others
+	for {
+		min, any := g.minActiveLocked()
+		if !any || c.NowNS() <= min+int64(PaceWindow) {
+			break
+		}
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+// Done marks a worker finished so it no longer holds the pace window back.
+func (g *Group) Done(c *Clock) {
+	g.mu.Lock()
+	g.done[c] = true
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// Elapsed reports the wall-clock-equivalent duration of the run so far: the
+// furthest-ahead worker clock minus the start time.
+func (g *Group) Elapsed() time.Duration {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	max := g.start
+	for _, c := range g.clocks {
+		if n := c.NowNS(); n > max {
+			max = n
+		}
+	}
+	return time.Duration(max - g.start)
+}

@@ -1,0 +1,220 @@
+package bentoimpl
+
+import (
+	"fmt"
+	"sync"
+
+	"bento/internal/fsapi"
+	"bento/internal/kernel"
+	"bento/internal/xv6/layout"
+)
+
+// allocator holds the locks the paper's §6.1 added around inode and block
+// allocation ("we needed to add locks around inode and block number
+// allocations due to race conditions on the block device"), plus rotor
+// hints so allocation does not rescan the bitmap from zero every time.
+type allocator struct {
+	blockMu    sync.Mutex
+	blockRotor uint32 // next data block to consider
+	inodeMu    sync.Mutex
+	inodeRotor uint32 // next inum to consider
+}
+
+// balloc allocates a zeroed data block within the current transaction,
+// scanning the bitmap from the rotor hint and wrapping once.
+func (fs *FS) balloc(t *kernel.Task) (uint32, error) {
+	fs.alloc.blockMu.Lock()
+	defer fs.alloc.blockMu.Unlock()
+	sb := &fs.super
+	rotor := fs.alloc.blockRotor
+	if rotor < sb.DataStart || rotor >= sb.Size {
+		rotor = sb.DataStart
+	}
+	blk, err := fs.ballocRange(t, rotor, sb.Size)
+	if err != nil {
+		return 0, err
+	}
+	if blk == 0 {
+		blk, err = fs.ballocRange(t, sb.DataStart, rotor)
+		if err != nil {
+			return 0, err
+		}
+	}
+	if blk == 0 {
+		return 0, fsapi.ErrNoSpace
+	}
+	if err := fs.bzero(t, blk); err != nil {
+		return 0, err
+	}
+	fs.alloc.blockRotor = blk + 1
+	return blk, nil
+}
+
+// ballocRange scans [lo, hi) for a free block, marking and logging the
+// bitmap bit of the first one found. Returns 0 when the range is full.
+// Caller holds blockMu.
+func (fs *FS) ballocRange(t *kernel.Task, lo, hi uint32) (uint32, error) {
+	sb := &fs.super
+	for b := lo; b < hi; {
+		base := (b / layout.BitsPerBlock) * layout.BitsPerBlock
+		end := base + layout.BitsPerBlock
+		if end > hi {
+			end = hi
+		}
+		bh, err := fs.sb.BRead(t, int(sb.BitmapBlock(b)))
+		if err != nil {
+			return 0, err
+		}
+		data, err := bh.Data()
+		if err != nil {
+			_ = bh.Release()
+			return 0, err
+		}
+		for cur := b; cur < end; cur++ {
+			bit := cur - base
+			if data[bit/8]&(1<<(bit%8)) == 0 {
+				data[bit/8] |= 1 << (bit % 8)
+				if err := fs.log.Write(t, bh); err != nil {
+					_ = bh.Release()
+					return 0, err
+				}
+				if err := bh.Release(); err != nil {
+					return 0, err
+				}
+				return cur, nil
+			}
+		}
+		if err := bh.Release(); err != nil {
+			return 0, err
+		}
+		b = end
+	}
+	return 0, nil
+}
+
+// bzero zeroes a freshly allocated block through the log.
+func (fs *FS) bzero(t *kernel.Task, blk uint32) error {
+	bh, err := fs.sb.BReadNoFill(t, int(blk))
+	if err != nil {
+		return err
+	}
+	data, err := bh.Data()
+	if err != nil {
+		_ = bh.Release()
+		return err
+	}
+	clear(data)
+	if err := fs.log.Write(t, bh); err != nil {
+		_ = bh.Release()
+		return err
+	}
+	return bh.Release()
+}
+
+// bfree releases a data block within the current transaction.
+func (fs *FS) bfree(t *kernel.Task, blk uint32) error {
+	sb := &fs.super
+	if blk < sb.DataStart || blk >= sb.Size {
+		return fmt.Errorf("xv6: bfree of block %d outside data region: %w", blk, fsapi.ErrInvalid)
+	}
+	fs.alloc.blockMu.Lock()
+	defer fs.alloc.blockMu.Unlock()
+	bh, err := fs.sb.BRead(t, int(sb.BitmapBlock(blk)))
+	if err != nil {
+		return err
+	}
+	data, err := bh.Data()
+	if err != nil {
+		_ = bh.Release()
+		return err
+	}
+	bit := blk % layout.BitsPerBlock
+	if data[bit/8]&(1<<(bit%8)) == 0 {
+		_ = bh.Release()
+		return fmt.Errorf("xv6: double free of block %d: %w", blk, fsapi.ErrCorrupt)
+	}
+	data[bit/8] &^= 1 << (bit % 8)
+	if err := fs.log.Write(t, bh); err != nil {
+		_ = bh.Release()
+		return err
+	}
+	if blk < fs.alloc.blockRotor {
+		fs.alloc.blockRotor = blk
+	}
+	return bh.Release()
+}
+
+// ialloc allocates a fresh inode of the given type within the current
+// transaction and returns it referenced and loaded (unlocked).
+func (fs *FS) ialloc(t *kernel.Task, typ uint16) (*Inode, error) {
+	fs.alloc.inodeMu.Lock()
+	defer fs.alloc.inodeMu.Unlock()
+	sb := &fs.super
+	rotor := fs.alloc.inodeRotor
+	if rotor < 2 || rotor >= sb.NInodes { // inum 0 is invalid, 1 is the root
+		rotor = 2
+	}
+	try := func(lo, hi uint32) (*Inode, error) {
+		for inum := lo; inum < hi; inum++ {
+			bh, err := fs.sb.BRead(t, int(sb.InodeBlock(inum)))
+			if err != nil {
+				return nil, err
+			}
+			data, err := bh.Data()
+			if err != nil {
+				_ = bh.Release()
+				return nil, err
+			}
+			off := layout.InodeOffset(inum)
+			din := layout.DecodeDinode(data[off:])
+			if din.Type != layout.TypeFree {
+				if err := bh.Release(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			din = layout.Dinode{Type: typ, Nlink: 0}
+			din.Encode(data[off:])
+			if err := fs.log.Write(t, bh); err != nil {
+				_ = bh.Release()
+				return nil, err
+			}
+			if err := bh.Release(); err != nil {
+				return nil, err
+			}
+			fs.alloc.inodeRotor = inum + 1
+			ip := fs.iget(inum)
+			ip.lock.Lock()
+			ip.din = din
+			ip.valid = true
+			ip.lock.Unlock()
+			return ip, nil
+		}
+		return nil, nil
+	}
+	ip, err := try(rotor, sb.NInodes)
+	if err != nil {
+		return nil, err
+	}
+	if ip == nil {
+		ip, err = try(2, rotor)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if ip == nil {
+		return nil, fsapi.ErrNoInodes
+	}
+	return ip, nil
+}
+
+// ifree marks inum free in the inode table; the caller already wrote the
+// TypeFree dinode via iupdate, so this only maintains the rotor.
+func (fs *FS) ifree(t *kernel.Task, inum uint32) error {
+	fs.alloc.inodeMu.Lock()
+	defer fs.alloc.inodeMu.Unlock()
+	if inum < fs.alloc.inodeRotor {
+		fs.alloc.inodeRotor = inum
+	}
+	return nil
+}

@@ -1,0 +1,484 @@
+package bentoimpl
+
+import (
+	"fmt"
+	"sync"
+
+	"bento/internal/fsapi"
+	"bento/internal/kernel"
+	"bento/internal/xv6/layout"
+)
+
+// Inode is the in-core inode (xv6's struct inode): a reference-counted
+// copy of the on-disk inode guarded by a per-inode sleep lock. The paper
+// notes (§6.1) that the Rust versions carry more locks than original xv6,
+// particularly around allocation; those live in alloc.go.
+type Inode struct {
+	fs   *FS
+	inum uint32
+
+	// ref counts in-core references (iget/iput), guarded by the itable.
+	ref int
+
+	// lock guards everything below (xv6's sleep-lock).
+	lock  sync.Mutex
+	valid bool
+	din   layout.Dinode
+}
+
+// itable is the in-core inode cache.
+type itable struct {
+	mu      sync.Mutex
+	entries map[uint32]*Inode
+}
+
+// iget returns a referenced in-core inode for inum without loading it.
+func (fs *FS) iget(inum uint32) *Inode {
+	fs.itab.mu.Lock()
+	defer fs.itab.mu.Unlock()
+	if ip, ok := fs.itab.entries[inum]; ok {
+		ip.ref++
+		return ip
+	}
+	ip := &Inode{fs: fs, inum: inum, ref: 1}
+	fs.itab.entries[inum] = ip
+	return ip
+}
+
+// ilock locks the inode and loads it from disk on first use.
+func (ip *Inode) ilock(t *kernel.Task) error {
+	ip.lock.Lock()
+	if ip.valid {
+		return nil
+	}
+	fs := ip.fs
+	err := fs.sb.WithBuffer(t, int(fs.super.InodeBlock(ip.inum)), func(bh bentoksBuffer) error {
+		data, err := bh.Data()
+		if err != nil {
+			return err
+		}
+		ip.din = layout.DecodeDinode(data[layout.InodeOffset(ip.inum):])
+		return nil
+	})
+	if err != nil {
+		ip.lock.Unlock()
+		return err
+	}
+	if ip.din.Type == layout.TypeFree {
+		ip.lock.Unlock()
+		return fmt.Errorf("xv6: ilock of free inode %d: %w", ip.inum, fsapi.ErrStale)
+	}
+	ip.valid = true
+	return nil
+}
+
+// iunlock drops the sleep lock.
+func (ip *Inode) iunlock() { ip.lock.Unlock() }
+
+// iupdate writes the in-core inode to its disk block through the log.
+// Caller holds the inode lock and an open transaction.
+func (ip *Inode) iupdate(t *kernel.Task) error {
+	fs := ip.fs
+	bh, err := fs.sb.BRead(t, int(fs.super.InodeBlock(ip.inum)))
+	if err != nil {
+		return err
+	}
+	data, err := bh.Data()
+	if err != nil {
+		return err
+	}
+	ip.din.Encode(data[layout.InodeOffset(ip.inum):])
+	if err := fs.log.Write(t, bh); err != nil {
+		return err
+	}
+	return bh.Release()
+}
+
+// errNeedTxn signals that iput must free the inode but the caller holds
+// no transaction; the caller retries inside one.
+var errNeedTxn = fmt.Errorf("xv6: iput needs a transaction")
+
+// iput drops a reference; the last reference to an unlinked inode
+// truncates and frees it. Freeing journals blocks, so it requires an open
+// transaction: callers inside one pass hasTxn=true, callers outside use
+// iputOutside, which opens a transaction only when the free path is
+// actually taken. Caller must not hold the inode lock.
+func (ip *Inode) iput(t *kernel.Task, hasTxn bool) error {
+	fs := ip.fs
+	// Lock order follows xv6: the inode sleep-lock first, the itable lock
+	// only for the brief ref check — never itable→inode, because readdir
+	// takes inode→itable.
+	ip.lock.Lock()
+	if ip.valid && ip.din.Nlink == 0 {
+		fs.itab.mu.Lock()
+		r := ip.ref
+		fs.itab.mu.Unlock()
+		if r == 1 {
+			// We hold the only reference and the inode is unlinked:
+			// truncate and free it. No new reference can appear because
+			// no directory entry names it.
+			if !hasTxn {
+				ip.lock.Unlock()
+				return errNeedTxn
+			}
+			if err := ip.itruncLocked(t); err != nil {
+				ip.lock.Unlock()
+				return err
+			}
+			ip.din.Type = layout.TypeFree
+			if err := ip.iupdate(t); err != nil {
+				ip.lock.Unlock()
+				return err
+			}
+			if err := fs.ifree(t, ip.inum); err != nil {
+				ip.lock.Unlock()
+				return err
+			}
+			ip.valid = false
+		}
+	}
+	ip.lock.Unlock()
+
+	fs.itab.mu.Lock()
+	ip.ref--
+	if ip.ref == 0 {
+		delete(fs.itab.entries, ip.inum)
+	}
+	fs.itab.mu.Unlock()
+	return nil
+}
+
+// bmap returns the disk block backing file block bn, allocating (within
+// the current transaction) when alloc is set. Returns 0 for a hole when
+// not allocating. Caller holds the inode lock.
+func (ip *Inode) bmap(t *kernel.Task, bn uint64, alloc bool) (uint32, error) {
+	fs := ip.fs
+	if bn >= layout.MaxFileBlocks {
+		return 0, fsapi.ErrFileTooBig
+	}
+
+	// Direct.
+	if bn < layout.NDirect {
+		addr := ip.din.Addrs[bn]
+		if addr == 0 && alloc {
+			a, err := fs.balloc(t)
+			if err != nil {
+				return 0, err
+			}
+			ip.din.Addrs[bn] = a
+			if err := ip.iupdate(t); err != nil {
+				return 0, err
+			}
+			addr = a
+		}
+		return addr, nil
+	}
+
+	// Indirect.
+	if bn < layout.NDirect+layout.NIndirect {
+		idx := int(bn - layout.NDirect)
+		return ip.mapThrough(t, &ip.din.Addrs[layout.IndirectSlot], []int{idx}, alloc)
+	}
+
+	// Double indirect.
+	idx := bn - layout.NDirect - layout.NIndirect
+	return ip.mapThrough(t, &ip.din.Addrs[layout.DIndirectSlot],
+		[]int{int(idx / layout.NIndirect), int(idx % layout.NIndirect)}, alloc)
+}
+
+// mapThrough walks (allocating as needed) a chain of indirect blocks
+// selected by idxs, starting from the pointer slot *slot.
+func (ip *Inode) mapThrough(t *kernel.Task, slot *uint32, idxs []int, alloc bool) (uint32, error) {
+	fs := ip.fs
+	cur := *slot
+	if cur == 0 {
+		if !alloc {
+			return 0, nil
+		}
+		a, err := fs.balloc(t)
+		if err != nil {
+			return 0, err
+		}
+		*slot = a
+		if err := ip.iupdate(t); err != nil {
+			return 0, err
+		}
+		cur = a
+	}
+	for _, idx := range idxs {
+		bh, err := fs.sb.BRead(t, int(cur))
+		if err != nil {
+			return 0, err
+		}
+		data, err := bh.Data()
+		if err != nil {
+			_ = bh.Release()
+			return 0, err
+		}
+		next := leU32(data, 4*idx)
+		if next == 0 {
+			if !alloc {
+				_ = bh.Release()
+				return 0, nil
+			}
+			a, err := fs.balloc(t)
+			if err != nil {
+				_ = bh.Release()
+				return 0, err
+			}
+			putU32(data, 4*idx, a)
+			if err := fs.log.Write(t, bh); err != nil {
+				_ = bh.Release()
+				return 0, err
+			}
+			next = a
+		}
+		if err := bh.Release(); err != nil {
+			return 0, err
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// clearMapping zeroes the pointer that maps file block bn (after the
+// block itself has been freed). Indirect blocks left empty are not
+// reclaimed eagerly; a later full truncate frees them. Caller holds the
+// inode lock and a transaction.
+func (ip *Inode) clearMapping(t *kernel.Task, bn uint64) error {
+	fs := ip.fs
+	if bn < layout.NDirect {
+		ip.din.Addrs[bn] = 0
+		return ip.iupdate(t)
+	}
+	// Locate the level-1 indirect block holding the pointer.
+	var holder uint32
+	var idx int
+	if bn < layout.NDirect+layout.NIndirect {
+		holder = ip.din.Addrs[layout.IndirectSlot]
+		idx = int(bn - layout.NDirect)
+	} else {
+		off := bn - layout.NDirect - layout.NIndirect
+		dind := ip.din.Addrs[layout.DIndirectSlot]
+		if dind == 0 {
+			return nil
+		}
+		err := fs.sb.WithBuffer(t, int(dind), func(bh bentoksBuffer) error {
+			data, err := bh.Data()
+			if err != nil {
+				return err
+			}
+			holder = leU32(data, 4*int(off/layout.NIndirect))
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		idx = int(off % layout.NIndirect)
+	}
+	if holder == 0 {
+		return nil
+	}
+	bh, err := fs.sb.BRead(t, int(holder))
+	if err != nil {
+		return err
+	}
+	data, err := bh.Data()
+	if err != nil {
+		_ = bh.Release()
+		return err
+	}
+	putU32(data, 4*idx, 0)
+	if err := fs.log.Write(t, bh); err != nil {
+		_ = bh.Release()
+		return err
+	}
+	return bh.Release()
+}
+
+// itruncLocked frees all blocks of the file and zeroes its size. Caller
+// holds the inode lock and an open transaction. Because a transaction is
+// bounded, huge files are truncated in chunks: the caller-facing wrapper
+// in fs.go splits the work across transactions.
+func (ip *Inode) itruncLocked(t *kernel.Task) error {
+	fs := ip.fs
+	for i := 0; i < layout.NDirect; i++ {
+		if a := ip.din.Addrs[i]; a != 0 {
+			if err := fs.bfree(t, a); err != nil {
+				return err
+			}
+			ip.din.Addrs[i] = 0
+		}
+	}
+	if a := ip.din.Addrs[layout.IndirectSlot]; a != 0 {
+		if err := fs.freeIndirect(t, a, 1); err != nil {
+			return err
+		}
+		ip.din.Addrs[layout.IndirectSlot] = 0
+	}
+	if a := ip.din.Addrs[layout.DIndirectSlot]; a != 0 {
+		if err := fs.freeIndirect(t, a, 2); err != nil {
+			return err
+		}
+		ip.din.Addrs[layout.DIndirectSlot] = 0
+	}
+	ip.din.Size = 0
+	return ip.iupdate(t)
+}
+
+// freeIndirect frees an indirect block of the given depth and everything
+// below it.
+func (fs *FS) freeIndirect(t *kernel.Task, blk uint32, depth int) error {
+	bh, err := fs.sb.BRead(t, int(blk))
+	if err != nil {
+		return err
+	}
+	data, err := bh.Data()
+	if err != nil {
+		_ = bh.Release()
+		return err
+	}
+	for i := 0; i < layout.NIndirect; i++ {
+		a := leU32(data, 4*i)
+		if a == 0 {
+			continue
+		}
+		if depth > 1 {
+			if err := fs.freeIndirect(t, a, depth-1); err != nil {
+				_ = bh.Release()
+				return err
+			}
+		} else {
+			if err := fs.bfree(t, a); err != nil {
+				_ = bh.Release()
+				return err
+			}
+		}
+	}
+	if err := bh.Release(); err != nil {
+		return err
+	}
+	return fs.bfree(t, blk)
+}
+
+// readi reads up to len(buf) bytes at off from the file. Caller holds the
+// inode lock.
+func (ip *Inode) readi(t *kernel.Task, off int64, buf []byte) (int, error) {
+	if off < 0 {
+		return 0, fsapi.ErrInvalid
+	}
+	size := int64(ip.din.Size)
+	if off >= size {
+		return 0, nil
+	}
+	want := int64(len(buf))
+	if off+want > size {
+		want = size - off
+	}
+	var done int64
+	for done < want {
+		bn := uint64((off + done) / layout.BlockSize)
+		bo := (off + done) % layout.BlockSize
+		n := int64(layout.BlockSize) - bo
+		if n > want-done {
+			n = want - done
+		}
+		blk, err := ip.bmap(t, bn, false)
+		if err != nil {
+			return int(done), err
+		}
+		if blk == 0 {
+			// Hole: reads as zeros.
+			clear(buf[done : done+n])
+		} else {
+			err := ip.fs.sb.WithBuffer(t, int(blk), func(bh bentoksBuffer) error {
+				data, err := bh.Data()
+				if err != nil {
+					return err
+				}
+				copy(buf[done:done+n], data[bo:bo+n])
+				return nil
+			})
+			if err != nil {
+				return int(done), err
+			}
+		}
+		done += n
+	}
+	return int(done), nil
+}
+
+// writei writes buf at off, growing the file as needed. Caller holds the
+// inode lock and a transaction sized for the write (see writeChunkBlocks).
+func (ip *Inode) writei(t *kernel.Task, off int64, buf []byte) (int, error) {
+	if off < 0 {
+		return 0, fsapi.ErrInvalid
+	}
+	if off+int64(len(buf)) > layout.MaxFileSize {
+		return 0, fsapi.ErrFileTooBig
+	}
+	var done int64
+	want := int64(len(buf))
+	for done < want {
+		bn := uint64((off + done) / layout.BlockSize)
+		bo := (off + done) % layout.BlockSize
+		n := int64(layout.BlockSize) - bo
+		if n > want-done {
+			n = want - done
+		}
+		blk, err := ip.bmap(t, bn, true)
+		if err != nil {
+			return int(done), err
+		}
+		var bh bentoksBuffer
+		if n == layout.BlockSize {
+			bh, err = ip.fs.sb.BReadNoFill(t, int(blk))
+		} else {
+			bh, err = ip.fs.sb.BRead(t, int(blk))
+		}
+		if err != nil {
+			return int(done), err
+		}
+		data, err := bh.Data()
+		if err != nil {
+			_ = bh.Release()
+			return int(done), err
+		}
+		copy(data[bo:bo+n], buf[done:done+n])
+		if err := ip.fs.log.Write(t, bh); err != nil {
+			_ = bh.Release()
+			return int(done), err
+		}
+		if err := bh.Release(); err != nil {
+			return int(done), err
+		}
+		done += n
+	}
+	if end := off + done; end > int64(ip.din.Size) {
+		ip.din.Size = uint64(end)
+	}
+	return int(done), ip.iupdate(t)
+}
+
+// stat converts the in-core inode to fsapi.Stat. Caller holds the lock.
+func (ip *Inode) stat() fsapi.Stat {
+	st := fsapi.Stat{Ino: fsapi.Ino(ip.inum), Size: int64(ip.din.Size), Nlink: uint32(ip.din.Nlink)}
+	switch ip.din.Type {
+	case layout.TypeDir:
+		st.Type = fsapi.TypeDir
+	case layout.TypeFile:
+		st.Type = fsapi.TypeFile
+	}
+	return st
+}
+
+func leU32(b []byte, off int) uint32 {
+	return uint32(b[off]) | uint32(b[off+1])<<8 | uint32(b[off+2])<<16 | uint32(b[off+3])<<24
+}
+
+func putU32(b []byte, off int, v uint32) {
+	b[off] = byte(v)
+	b[off+1] = byte(v >> 8)
+	b[off+2] = byte(v >> 16)
+	b[off+3] = byte(v >> 24)
+}

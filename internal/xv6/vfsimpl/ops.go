@@ -1,0 +1,667 @@
+package vfsimpl
+
+import (
+	"bento/internal/fsapi"
+	"bento/internal/kernel"
+	"bento/internal/xv6/layout"
+)
+
+// Reservation sizes, mirroring the Bento version.
+const metaOpBlocks = 12
+
+func (fs *FS) statOf(ip *inode) fsapi.Stat {
+	st := fsapi.Stat{Ino: fsapi.Ino(ip.inum), Size: int64(ip.din.Size), Nlink: uint32(ip.din.Nlink)}
+	switch ip.din.Type {
+	case layout.TypeDir:
+		st.Type = fsapi.TypeDir
+	case layout.TypeFile:
+		st.Type = fsapi.TypeFile
+	}
+	return st
+}
+
+// dirlookup scans dp for name. Caller holds dp.mu.
+func (fs *FS) dirlookup(t *kernel.Task, dp *inode, name string) (uint32, int64, error) {
+	if dp.din.Type != layout.TypeDir {
+		return 0, 0, fsapi.ErrNotDir
+	}
+	size := int64(dp.din.Size)
+	buf := make([]byte, layout.BlockSize)
+	for base := int64(0); base < size; base += layout.BlockSize {
+		n := min64(layout.BlockSize, size-base)
+		if _, err := fs.readi(t, dp, base, buf[:n]); err != nil {
+			return 0, 0, err
+		}
+		for o := int64(0); o < n; o += layout.DirentSize {
+			de := layout.DecodeDirent(buf[o:])
+			if de.Ino != 0 && de.Name == name {
+				return de.Ino, base + o, nil
+			}
+		}
+	}
+	return 0, 0, fsapi.ErrNotExist
+}
+
+// dirlink adds name->inum to dp. Caller holds dp.mu and a transaction.
+func (fs *FS) dirlink(t *kernel.Task, dp *inode, name string, inum uint32) error {
+	if len(name) > layout.MaxNameLen {
+		return fsapi.ErrNameTooLong
+	}
+	if _, _, err := fs.dirlookup(t, dp, name); err == nil {
+		return fsapi.ErrExist
+	}
+	size := int64(dp.din.Size)
+	rec := make([]byte, layout.DirentSize)
+	off := size
+	for o := int64(0); o < size; o += layout.DirentSize {
+		if _, err := fs.readi(t, dp, o, rec); err != nil {
+			return err
+		}
+		if layout.DecodeDirent(rec).Ino == 0 {
+			off = o
+			break
+		}
+	}
+	if err := layout.EncodeDirent(layout.Dirent{Ino: inum, Name: name}, rec); err != nil {
+		return err
+	}
+	_, err := fs.writei(t, dp, off, rec)
+	return err
+}
+
+// Root implements kernel.FileSystem.
+func (fs *FS) Root() fsapi.Ino { return fsapi.RootIno }
+
+// Lookup implements kernel.FileSystem.
+func (fs *FS) Lookup(t *kernel.Task, dir fsapi.Ino, name string) (fsapi.Stat, error) {
+	dp := fs.iget(uint32(dir))
+	defer fs.iput(t, dp, false)
+	if err := fs.ilock(t, dp); err != nil {
+		return fsapi.Stat{}, err
+	}
+	inum, _, err := fs.dirlookup(t, dp, name)
+	dp.mu.Unlock()
+	if err != nil {
+		return fsapi.Stat{}, err
+	}
+	ip := fs.iget(inum)
+	defer fs.iput(t, ip, false)
+	if err := fs.ilock(t, ip); err != nil {
+		return fsapi.Stat{}, err
+	}
+	st := fs.statOf(ip)
+	ip.mu.Unlock()
+	return st, nil
+}
+
+// GetAttr implements kernel.FileSystem.
+func (fs *FS) GetAttr(t *kernel.Task, ino fsapi.Ino) (fsapi.Stat, error) {
+	ip := fs.iget(uint32(ino))
+	defer fs.iput(t, ip, false)
+	if err := fs.ilock(t, ip); err != nil {
+		return fsapi.Stat{}, fsapi.ErrNotExist
+	}
+	st := fs.statOf(ip)
+	ip.mu.Unlock()
+	return st, nil
+}
+
+// SetSize implements kernel.FileSystem.
+func (fs *FS) SetSize(t *kernel.Task, ino fsapi.Ino, size int64) error {
+	if size < 0 || size > layout.MaxFileSize {
+		return fsapi.ErrInvalid
+	}
+	ip := fs.iget(uint32(ino))
+	defer fs.iput(t, ip, false)
+	if err := fs.ilock(t, ip); err != nil {
+		return err
+	}
+	defer ip.mu.Unlock()
+	if ip.din.Type == layout.TypeDir {
+		return fsapi.ErrIsDir
+	}
+	fs.beginOp(t, layout.MaxOpBlocks)
+	defer fs.endOp(t, layout.MaxOpBlocks)
+	if size == 0 {
+		return fs.itrunc(t, ip)
+	}
+	old := int64(ip.din.Size)
+	if size < old {
+		firstDead := (size + layout.BlockSize - 1) / layout.BlockSize
+		lastOld := (old + layout.BlockSize - 1) / layout.BlockSize
+		for bn := firstDead; bn < lastOld; bn++ {
+			blk, err := fs.bmap(t, ip, uint64(bn), false)
+			if err != nil {
+				return err
+			}
+			if blk == 0 {
+				continue
+			}
+			if err := fs.bfree(t, blk); err != nil {
+				return err
+			}
+			if err := fs.clearMap(t, ip, uint64(bn)); err != nil {
+				return err
+			}
+		}
+		if size%layout.BlockSize != 0 {
+			if blk, err := fs.bmap(t, ip, uint64(size/layout.BlockSize), false); err != nil {
+				return err
+			} else if blk != 0 {
+				bh, err := fs.bc.Get(t, int(blk))
+				if err != nil {
+					return err
+				}
+				clear(bh.Data()[size%layout.BlockSize:])
+				if err := fs.logWrite(t, bh); err != nil {
+					_ = bh.Release()
+					return err
+				}
+				_ = bh.Release()
+			}
+		}
+	}
+	ip.din.Size = uint64(size)
+	return fs.iupdate(t, ip)
+}
+
+// clearMap zeroes the mapping for file block bn.
+func (fs *FS) clearMap(t *kernel.Task, ip *inode, bn uint64) error {
+	if bn < layout.NDirect {
+		ip.din.Addrs[bn] = 0
+		return fs.iupdate(t, ip)
+	}
+	var holder uint32
+	var idx int
+	if bn < layout.NDirect+layout.NIndirect {
+		holder = ip.din.Addrs[layout.IndirectSlot]
+		idx = int(bn - layout.NDirect)
+	} else {
+		off := bn - layout.NDirect - layout.NIndirect
+		dind := ip.din.Addrs[layout.DIndirectSlot]
+		if dind == 0 {
+			return nil
+		}
+		bh, err := fs.bc.Get(t, int(dind))
+		if err != nil {
+			return err
+		}
+		holder = u32(bh.Data(), 4*int(off/layout.NIndirect))
+		_ = bh.Release()
+		idx = int(off % layout.NIndirect)
+	}
+	if holder == 0 {
+		return nil
+	}
+	bh, err := fs.bc.Get(t, int(holder))
+	if err != nil {
+		return err
+	}
+	pu32(bh.Data(), 4*idx, 0)
+	if err := fs.logWrite(t, bh); err != nil {
+		_ = bh.Release()
+		return err
+	}
+	return bh.Release()
+}
+
+// Create implements kernel.FileSystem.
+func (fs *FS) Create(t *kernel.Task, dir fsapi.Ino, name string) (fsapi.Stat, error) {
+	return fs.createNode(t, dir, name, layout.TypeFile)
+}
+
+// Mkdir implements kernel.FileSystem.
+func (fs *FS) Mkdir(t *kernel.Task, dir fsapi.Ino, name string) (fsapi.Stat, error) {
+	return fs.createNode(t, dir, name, layout.TypeDir)
+}
+
+func (fs *FS) createNode(t *kernel.Task, dir fsapi.Ino, name string, typ uint16) (fsapi.Stat, error) {
+	if name == "" || name == "." || name == ".." {
+		return fsapi.Stat{}, fsapi.ErrInvalid
+	}
+	fs.beginOp(t, metaOpBlocks)
+	defer fs.endOp(t, metaOpBlocks)
+	dp := fs.iget(uint32(dir))
+	defer fs.iput(t, dp, true)
+	if err := fs.ilock(t, dp); err != nil {
+		return fsapi.Stat{}, err
+	}
+	defer dp.mu.Unlock()
+	if dp.din.Type != layout.TypeDir {
+		return fsapi.Stat{}, fsapi.ErrNotDir
+	}
+	if _, _, err := fs.dirlookup(t, dp, name); err == nil {
+		return fsapi.Stat{}, fsapi.ErrExist
+	}
+	ip, err := fs.ialloc(t, typ)
+	if err != nil {
+		return fsapi.Stat{}, err
+	}
+	defer fs.iput(t, ip, true)
+	ip.mu.Lock()
+	defer ip.mu.Unlock()
+	if typ == layout.TypeDir {
+		ip.din.Nlink = 2
+	} else {
+		ip.din.Nlink = 1
+	}
+	if err := fs.iupdate(t, ip); err != nil {
+		return fsapi.Stat{}, err
+	}
+	if typ == layout.TypeDir {
+		if err := fs.dirlink(t, ip, ".", ip.inum); err != nil {
+			return fsapi.Stat{}, err
+		}
+		if err := fs.dirlink(t, ip, "..", dp.inum); err != nil {
+			return fsapi.Stat{}, err
+		}
+		dp.din.Nlink++
+		if err := fs.iupdate(t, dp); err != nil {
+			return fsapi.Stat{}, err
+		}
+	}
+	if err := fs.dirlink(t, dp, name, ip.inum); err != nil {
+		return fsapi.Stat{}, err
+	}
+	return fs.statOf(ip), nil
+}
+
+// Unlink implements kernel.FileSystem.
+func (fs *FS) Unlink(t *kernel.Task, dir fsapi.Ino, name string) error {
+	return fs.removeNode(t, dir, name, false)
+}
+
+// Rmdir implements kernel.FileSystem.
+func (fs *FS) Rmdir(t *kernel.Task, dir fsapi.Ino, name string) error {
+	return fs.removeNode(t, dir, name, true)
+}
+
+func (fs *FS) removeNode(t *kernel.Task, dir fsapi.Ino, name string, wantDir bool) error {
+	if name == "." || name == ".." {
+		return fsapi.ErrInvalid
+	}
+	fs.beginOp(t, layout.MaxOpBlocks)
+	defer fs.endOp(t, layout.MaxOpBlocks)
+	dp := fs.iget(uint32(dir))
+	defer fs.iput(t, dp, true)
+	if err := fs.ilock(t, dp); err != nil {
+		return err
+	}
+	defer dp.mu.Unlock()
+	inum, off, err := fs.dirlookup(t, dp, name)
+	if err != nil {
+		return err
+	}
+	ip := fs.iget(inum)
+	defer fs.iput(t, ip, true)
+	if err := fs.ilock(t, ip); err != nil {
+		return err
+	}
+	defer ip.mu.Unlock()
+	isDir := ip.din.Type == layout.TypeDir
+	if wantDir && !isDir {
+		return fsapi.ErrNotDir
+	}
+	if !wantDir && isDir {
+		return fsapi.ErrIsDir
+	}
+	if isDir {
+		empty, err := fs.isDirEmpty(t, ip)
+		if err != nil {
+			return err
+		}
+		if !empty {
+			return fsapi.ErrNotEmpty
+		}
+	}
+	zero := make([]byte, layout.DirentSize)
+	if _, err := fs.writei(t, dp, off, zero); err != nil {
+		return err
+	}
+	if isDir {
+		ip.din.Nlink -= 2
+		dp.din.Nlink--
+		if err := fs.iupdate(t, dp); err != nil {
+			return err
+		}
+	} else {
+		ip.din.Nlink--
+	}
+	return fs.iupdate(t, ip)
+}
+
+func (fs *FS) isDirEmpty(t *kernel.Task, dp *inode) (bool, error) {
+	size := int64(dp.din.Size)
+	rec := make([]byte, layout.DirentSize)
+	for o := int64(0); o < size; o += layout.DirentSize {
+		if _, err := fs.readi(t, dp, o, rec); err != nil {
+			return false, err
+		}
+		de := layout.DecodeDirent(rec)
+		if de.Ino != 0 && de.Name != "." && de.Name != ".." {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Rename implements kernel.FileSystem (same semantics as the Bento
+// version).
+func (fs *FS) Rename(t *kernel.Task, odir fsapi.Ino, oname string, ndir fsapi.Ino, nname string) error {
+	if oname == "." || oname == ".." || nname == "." || nname == ".." {
+		return fsapi.ErrInvalid
+	}
+	if len(nname) > layout.MaxNameLen {
+		return fsapi.ErrNameTooLong
+	}
+	fs.beginOp(t, layout.MaxOpBlocks)
+	defer fs.endOp(t, layout.MaxOpBlocks)
+
+	odp := fs.iget(uint32(odir))
+	defer fs.iput(t, odp, true)
+	ndp := odp
+	if ndir != odir {
+		ndp = fs.iget(uint32(ndir))
+		defer fs.iput(t, ndp, true)
+	}
+	if odp == ndp {
+		if err := fs.ilock(t, odp); err != nil {
+			return err
+		}
+		defer odp.mu.Unlock()
+	} else {
+		first, second := odp, ndp
+		if ndp.inum < odp.inum {
+			first, second = ndp, odp
+		}
+		if err := fs.ilock(t, first); err != nil {
+			return err
+		}
+		defer first.mu.Unlock()
+		if err := fs.ilock(t, second); err != nil {
+			return err
+		}
+		defer second.mu.Unlock()
+	}
+
+	srcInum, srcOff, err := fs.dirlookup(t, odp, oname)
+	if err != nil {
+		return err
+	}
+	if odir == ndir && oname == nname {
+		return nil
+	}
+	src := fs.iget(srcInum)
+	defer fs.iput(t, src, true)
+	if err := fs.ilock(t, src); err != nil {
+		return err
+	}
+	srcIsDir := src.din.Type == layout.TypeDir
+	src.mu.Unlock()
+
+	if tgtInum, tgtOff, err := fs.dirlookup(t, ndp, nname); err == nil {
+		tgt := fs.iget(tgtInum)
+		defer fs.iput(t, tgt, true)
+		if err := fs.ilock(t, tgt); err != nil {
+			return err
+		}
+		tgtIsDir := tgt.din.Type == layout.TypeDir
+		if tgtIsDir != srcIsDir {
+			tgt.mu.Unlock()
+			if tgtIsDir {
+				return fsapi.ErrIsDir
+			}
+			return fsapi.ErrNotDir
+		}
+		if tgtIsDir {
+			empty, err := fs.isDirEmpty(t, tgt)
+			if err != nil {
+				tgt.mu.Unlock()
+				return err
+			}
+			if !empty {
+				tgt.mu.Unlock()
+				return fsapi.ErrNotEmpty
+			}
+			tgt.din.Nlink -= 2
+			ndp.din.Nlink--
+		} else {
+			tgt.din.Nlink--
+		}
+		if err := fs.iupdate(t, tgt); err != nil {
+			tgt.mu.Unlock()
+			return err
+		}
+		tgt.mu.Unlock()
+		zero := make([]byte, layout.DirentSize)
+		if _, err := fs.writei(t, ndp, tgtOff, zero); err != nil {
+			return err
+		}
+	}
+
+	if err := fs.dirlink(t, ndp, nname, srcInum); err != nil {
+		return err
+	}
+	zero := make([]byte, layout.DirentSize)
+	if _, err := fs.writei(t, odp, srcOff, zero); err != nil {
+		return err
+	}
+	if srcIsDir && odir != ndir {
+		if err := fs.ilock(t, src); err != nil {
+			return err
+		}
+		_, ddOff, err := fs.dirlookup(t, src, "..")
+		if err != nil {
+			src.mu.Unlock()
+			return err
+		}
+		rec := make([]byte, layout.DirentSize)
+		if err := layout.EncodeDirent(layout.Dirent{Ino: ndp.inum, Name: ".."}, rec); err != nil {
+			src.mu.Unlock()
+			return err
+		}
+		if _, err := fs.writei(t, src, ddOff, rec); err != nil {
+			src.mu.Unlock()
+			return err
+		}
+		src.mu.Unlock()
+		odp.din.Nlink--
+		ndp.din.Nlink++
+	}
+	if err := fs.iupdate(t, odp); err != nil {
+		return err
+	}
+	if ndp != odp {
+		return fs.iupdate(t, ndp)
+	}
+	return nil
+}
+
+// Link implements kernel.FileSystem.
+func (fs *FS) Link(t *kernel.Task, ino fsapi.Ino, dir fsapi.Ino, name string) (fsapi.Stat, error) {
+	fs.beginOp(t, metaOpBlocks)
+	defer fs.endOp(t, metaOpBlocks)
+	ip := fs.iget(uint32(ino))
+	defer fs.iput(t, ip, true)
+	if err := fs.ilock(t, ip); err != nil {
+		return fsapi.Stat{}, err
+	}
+	if ip.din.Type == layout.TypeDir {
+		ip.mu.Unlock()
+		return fsapi.Stat{}, fsapi.ErrPerm
+	}
+	ip.din.Nlink++
+	if err := fs.iupdate(t, ip); err != nil {
+		ip.mu.Unlock()
+		return fsapi.Stat{}, err
+	}
+	st := fs.statOf(ip)
+	ip.mu.Unlock()
+	dp := fs.iget(uint32(dir))
+	defer fs.iput(t, dp, true)
+	if err := fs.ilock(t, dp); err != nil {
+		return fsapi.Stat{}, err
+	}
+	defer dp.mu.Unlock()
+	if err := fs.dirlink(t, dp, name, uint32(ino)); err != nil {
+		if lerr := fs.ilock(t, ip); lerr == nil {
+			ip.din.Nlink--
+			_ = fs.iupdate(t, ip)
+			ip.mu.Unlock()
+		}
+		return fsapi.Stat{}, err
+	}
+	return st, nil
+}
+
+// ReadDir implements kernel.FileSystem.
+func (fs *FS) ReadDir(t *kernel.Task, dir fsapi.Ino) ([]fsapi.DirEntry, error) {
+	dp := fs.iget(uint32(dir))
+	defer fs.iput(t, dp, false)
+	if err := fs.ilock(t, dp); err != nil {
+		return nil, err
+	}
+	defer dp.mu.Unlock()
+	if dp.din.Type != layout.TypeDir {
+		return nil, fsapi.ErrNotDir
+	}
+	size := int64(dp.din.Size)
+	buf := make([]byte, layout.BlockSize)
+	var out []fsapi.DirEntry
+	for base := int64(0); base < size; base += layout.BlockSize {
+		n := min64(layout.BlockSize, size-base)
+		if _, err := fs.readi(t, dp, base, buf[:n]); err != nil {
+			return nil, err
+		}
+		for o := int64(0); o < n; o += layout.DirentSize {
+			de := layout.DecodeDirent(buf[o:])
+			if de.Ino == 0 || de.Name == "." || de.Name == ".." {
+				continue
+			}
+			ent := fsapi.DirEntry{Name: de.Name, Ino: fsapi.Ino(de.Ino)}
+			child := fs.iget(de.Ino)
+			if err := fs.ilock(t, child); err == nil {
+				switch child.din.Type {
+				case layout.TypeDir:
+					ent.Type = fsapi.TypeDir
+				case layout.TypeFile:
+					ent.Type = fsapi.TypeFile
+				}
+				child.mu.Unlock()
+			}
+			_ = fs.iput(t, child, false)
+			out = append(out, ent)
+		}
+	}
+	return out, nil
+}
+
+// Open implements kernel.FileSystem.
+func (fs *FS) Open(t *kernel.Task, ino fsapi.Ino) error {
+	ip := fs.iget(uint32(ino))
+	if err := fs.ilock(t, ip); err != nil {
+		_ = fs.iput(t, ip, false)
+		return fsapi.ErrNotExist
+	}
+	ip.mu.Unlock()
+	return nil
+}
+
+// Release implements kernel.FileSystem.
+func (fs *FS) Release(t *kernel.Task, ino fsapi.Ino) error {
+	fs.itabMu.Lock()
+	ip, ok := fs.inodes[uint32(ino)]
+	fs.itabMu.Unlock()
+	if !ok {
+		return nil
+	}
+	return fs.iput(t, ip, false)
+}
+
+// ReadPage implements kernel.FileSystem.
+func (fs *FS) ReadPage(t *kernel.Task, ino fsapi.Ino, pg int64, buf []byte) error {
+	ip := fs.iget(uint32(ino))
+	defer fs.iput(t, ip, false)
+	if err := fs.ilock(t, ip); err != nil {
+		return err
+	}
+	defer ip.mu.Unlock()
+	n, err := fs.readi(t, ip, pg*fsapi.PageSize, buf)
+	if err != nil {
+		return err
+	}
+	clear(buf[n:])
+	return nil
+}
+
+// WritePage implements kernel.FileSystem: one transaction per page — the
+// un-batched ->writepage path that costs the C baseline its edge on large
+// writes in the paper's Figure 4.
+func (fs *FS) WritePage(t *kernel.Task, ino fsapi.Ino, pg int64, buf []byte, newSize int64) error {
+	off := pg * fsapi.PageSize
+	if off >= newSize {
+		return nil
+	}
+	n := int64(len(buf))
+	if off+n > newSize {
+		n = newSize - off
+	}
+	ip := fs.iget(uint32(ino))
+	defer fs.iput(t, ip, false)
+	fs.beginOp(t, metaOpBlocks)
+	defer fs.endOp(t, metaOpBlocks)
+	if err := fs.ilock(t, ip); err != nil {
+		return err
+	}
+	defer ip.mu.Unlock()
+	if _, err := fs.writei(t, ip, off, buf[:n]); err != nil {
+		return err
+	}
+	if int64(ip.din.Size) > newSize {
+		ip.din.Size = uint64(newSize)
+		return fs.iupdate(t, ip)
+	}
+	return nil
+}
+
+// Fsync implements kernel.FileSystem.
+func (fs *FS) Fsync(t *kernel.Task, ino fsapi.Ino, dataOnly bool) error {
+	return fs.forceCommit(t)
+}
+
+// Sync implements kernel.FileSystem.
+func (fs *FS) Sync(t *kernel.Task) error { return fs.forceCommit(t) }
+
+// StatFS implements kernel.FileSystem.
+func (fs *FS) StatFS(t *kernel.Task) (fsapi.FSStat, error) {
+	sb := &fs.super
+	var freeBlocks int64
+	for b := sb.DataStart; b < sb.Size; {
+		base := (b / layout.BitsPerBlock) * layout.BitsPerBlock
+		end := base + layout.BitsPerBlock
+		if end > sb.Size {
+			end = sb.Size
+		}
+		bh, err := fs.bc.Get(t, int(sb.BitmapBlock(b)))
+		if err != nil {
+			return fsapi.FSStat{}, err
+		}
+		data := bh.Data()
+		for cur := b; cur < end; cur++ {
+			bit := cur - base
+			if data[bit/8]&(1<<(bit%8)) == 0 {
+				freeBlocks++
+			}
+		}
+		_ = bh.Release()
+		b = end
+	}
+	return fsapi.FSStat{
+		TotalBlocks: int64(sb.NBlocks),
+		FreeBlocks:  freeBlocks,
+		TotalInodes: int64(sb.NInodes),
+	}, nil
+}
+
+// Unmount implements kernel.FileSystem.
+func (fs *FS) Unmount(t *kernel.Task) error { return fs.forceCommit(t) }

@@ -1,0 +1,733 @@
+// Package vfsimpl is the xv6 file system written directly against the
+// simulated kernel's VFS interface — the Go rendering of the paper's C
+// baseline ("C-Kernel" bars in every figure).
+//
+// It shares the on-disk format (internal/xv6/layout) with the Bento
+// version but is a separate implementation, as the paper's baselines
+// were: it talks straight to the kernel buffer cache with no capability
+// wrappers or ownership checking, and it implements only the single-page
+// ->writepage write-back path (no batched writepages) — the two
+// differences the paper identifies between the variants. The code is
+// deliberately C-flavoured: flat functions over the same structs, with
+// manual brelse bookkeeping.
+package vfsimpl
+
+import (
+	"fmt"
+	"sync"
+
+	"bento/internal/blockdev"
+	"bento/internal/fsapi"
+	"bento/internal/kernel"
+	"bento/internal/xv6/layout"
+)
+
+// Type registers the baseline with the kernel under Name.
+type Type struct {
+	TypeName string
+	Cfg      Config
+}
+
+// Config parameterizes the file system.
+type Config struct {
+	// FlushCommits issues device FLUSH commands around log commits
+	// (crash-safe); off by default like the benchmarked configuration.
+	FlushCommits bool
+}
+
+// Name implements kernel.FileSystemType.
+func (tt Type) Name() string {
+	if tt.TypeName == "" {
+		return "xv6vfs"
+	}
+	return tt.TypeName
+}
+
+// Mount implements kernel.FileSystemType.
+func (tt Type) Mount(t *kernel.Task, dev *blockdev.Device) (kernel.FileSystem, error) {
+	fs := &FS{
+		cfg:    tt.Cfg,
+		bc:     kernel.NewBufferCache(dev, t.Model(), 0),
+		dev:    dev,
+		inodes: make(map[uint32]*inode),
+	}
+	buf := make([]byte, layout.BlockSize)
+	if err := dev.Read(t.Clk, 1, buf); err != nil {
+		return nil, err
+	}
+	super, err := layout.DecodeSuperblock(buf)
+	if err != nil {
+		return nil, err
+	}
+	fs.super = super
+	fs.logCond = sync.NewCond(&fs.logMu)
+	fs.inLog = make(map[uint32]bool)
+	fs.blockRotor = super.DataStart
+	fs.inodeRotor = 2
+	if err := fs.recover(t); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// inode is the in-core inode.
+type inode struct {
+	inum  uint32
+	ref   int
+	mu    sync.Mutex
+	valid bool
+	din   layout.Dinode
+}
+
+// FS is one mounted instance of the baseline.
+type FS struct {
+	cfg   Config
+	bc    *kernel.BufferCache
+	dev   *blockdev.Device
+	super layout.Superblock
+
+	// log state (xv6's struct log).
+	logMu       sync.Mutex
+	logCond     *sync.Cond
+	outstanding int
+	reserved    uint32
+	committing  bool
+	logBlocks   []uint32
+	inLog       map[uint32]bool
+	commitEnd   int64
+	commits     int64
+
+	// allocation locks (the §6.1 additions).
+	allocMu    sync.Mutex
+	blockRotor uint32
+	imu        sync.Mutex
+	inodeRotor uint32
+
+	// in-core inode table.
+	itabMu sync.Mutex
+	inodes map[uint32]*inode
+}
+
+var _ kernel.FileSystem = (*FS)(nil)
+
+// Commits reports committed transactions (benchmark stat).
+func (fs *FS) Commits() int64 {
+	fs.logMu.Lock()
+	defer fs.logMu.Unlock()
+	return fs.commits
+}
+
+// --- log ---
+
+func (fs *FS) recover(t *kernel.Task) error {
+	hb, err := fs.bc.Get(t, int(fs.super.LogStart))
+	if err != nil {
+		return err
+	}
+	lh := layout.DecodeLogHeader(hb.Data())
+	if lh.N > 0 {
+		var last int64
+		for i := uint32(0); i < lh.N; i++ {
+			src, err := fs.bc.Get(t, int(fs.super.LogStart+1+i))
+			if err != nil {
+				return err
+			}
+			dst, err := fs.bc.GetNoRead(t, int(lh.Blocks[i]))
+			if err != nil {
+				return err
+			}
+			copy(dst.Data(), src.Data())
+			done, err := dst.SubmitWrite(t)
+			if err != nil {
+				return err
+			}
+			if done > last {
+				last = done
+			}
+			_ = src.Release()
+			_ = dst.Release()
+		}
+		t.Clk.AdvanceTo(last)
+		if fs.cfg.FlushCommits {
+			if err := fs.dev.Flush(t.Clk); err != nil {
+				return err
+			}
+		}
+	}
+	var empty layout.LogHeader
+	empty.Encode(hb.Data())
+	if err := hb.WriteSync(t); err != nil {
+		return err
+	}
+	if err := hb.Release(); err != nil {
+		return err
+	}
+	if fs.cfg.FlushCommits {
+		return fs.dev.Flush(t.Clk)
+	}
+	return nil
+}
+
+func (fs *FS) beginOp(t *kernel.Task, nblocks uint32) {
+	fs.logMu.Lock()
+	for fs.committing || uint32(len(fs.logBlocks))+fs.reserved+nblocks > layout.LogSize {
+		fs.logCond.Wait()
+	}
+	fs.outstanding++
+	fs.reserved += nblocks
+	t.Clk.AdvanceTo(fs.commitEnd)
+	fs.logMu.Unlock()
+}
+
+func (fs *FS) logWrite(t *kernel.Task, bh *kernel.BufferHead) error {
+	bh.MarkDirty()
+	blk := uint32(bh.BlockNo())
+	fs.logMu.Lock()
+	defer fs.logMu.Unlock()
+	if fs.outstanding == 0 {
+		return fmt.Errorf("xv6vfs: log write outside transaction: %w", fsapi.ErrInvalid)
+	}
+	if fs.inLog[blk] {
+		return nil
+	}
+	if uint32(len(fs.logBlocks)) >= layout.LogSize {
+		return fmt.Errorf("xv6vfs: transaction too big: %w", fsapi.ErrNoSpace)
+	}
+	fs.inLog[blk] = true
+	fs.logBlocks = append(fs.logBlocks, blk)
+	return nil
+}
+
+func (fs *FS) endOp(t *kernel.Task, nblocks uint32) error {
+	fs.logMu.Lock()
+	fs.outstanding--
+	fs.reserved -= nblocks
+	if fs.outstanding > 0 {
+		fs.logCond.Broadcast()
+		fs.logMu.Unlock()
+		return nil
+	}
+	fs.committing = true
+	blocks := fs.logBlocks
+	fs.logMu.Unlock()
+
+	var err error
+	if len(blocks) > 0 {
+		err = fs.commit(t, blocks)
+	}
+
+	fs.logMu.Lock()
+	fs.logBlocks = nil
+	fs.inLog = make(map[uint32]bool)
+	fs.committing = false
+	fs.commits++
+	if now := t.Clk.NowNS(); now > fs.commitEnd {
+		fs.commitEnd = now
+	}
+	fs.logCond.Broadcast()
+	fs.logMu.Unlock()
+	return err
+}
+
+func (fs *FS) commit(t *kernel.Task, blocks []uint32) error {
+	// Copy home blocks into the log region (synchronous per-block writes,
+	// like xv6's bwrite).
+	for i, home := range blocks {
+		src, err := fs.bc.Get(t, int(home))
+		if err != nil {
+			return err
+		}
+		dst, err := fs.bc.GetNoRead(t, int(fs.super.LogStart+1+uint32(i)))
+		if err != nil {
+			return err
+		}
+		copy(dst.Data(), src.Data())
+		if err := dst.WriteSync(t); err != nil {
+			return err
+		}
+		_ = dst.Release()
+		_ = src.Release()
+	}
+	// Commit record.
+	var lh layout.LogHeader
+	lh.N = uint32(len(blocks))
+	copy(lh.Blocks[:], blocks)
+	hb, err := fs.bc.GetNoRead(t, int(fs.super.LogStart))
+	if err != nil {
+		return err
+	}
+	lh.Encode(hb.Data())
+	if err := hb.WriteSync(t); err != nil {
+		return err
+	}
+	if fs.cfg.FlushCommits {
+		if err := fs.dev.Flush(t.Clk); err != nil {
+			return err
+		}
+	}
+	// Install home.
+	var last int64
+	for _, home := range blocks {
+		src, err := fs.bc.Get(t, int(home))
+		if err != nil {
+			return err
+		}
+		done, err := src.SubmitWrite(t)
+		if err != nil {
+			return err
+		}
+		if done > last {
+			last = done
+		}
+		_ = src.Release()
+	}
+	t.Clk.AdvanceTo(last)
+	if fs.cfg.FlushCommits {
+		if err := fs.dev.Flush(t.Clk); err != nil {
+			return err
+		}
+	}
+	// Clear the record.
+	lh = layout.LogHeader{}
+	lh.Encode(hb.Data())
+	if err := hb.WriteSync(t); err != nil {
+		return err
+	}
+	if err := hb.Release(); err != nil {
+		return err
+	}
+	if fs.cfg.FlushCommits {
+		return fs.dev.Flush(t.Clk)
+	}
+	return nil
+}
+
+func (fs *FS) forceCommit(t *kernel.Task) error {
+	fs.beginOp(t, 1)
+	return fs.endOp(t, 1)
+}
+
+// --- allocation ---
+
+func (fs *FS) balloc(t *kernel.Task) (uint32, error) {
+	fs.allocMu.Lock()
+	defer fs.allocMu.Unlock()
+	sb := &fs.super
+	rotor := fs.blockRotor
+	if rotor < sb.DataStart || rotor >= sb.Size {
+		rotor = sb.DataStart
+	}
+	for _, r := range [][2]uint32{{rotor, sb.Size}, {sb.DataStart, rotor}} {
+		for b := r[0]; b < r[1]; {
+			base := (b / layout.BitsPerBlock) * layout.BitsPerBlock
+			end := base + layout.BitsPerBlock
+			if end > r[1] {
+				end = r[1]
+			}
+			bh, err := fs.bc.Get(t, int(sb.BitmapBlock(b)))
+			if err != nil {
+				return 0, err
+			}
+			data := bh.Data()
+			for cur := b; cur < end; cur++ {
+				bit := cur - base
+				if data[bit/8]&(1<<(bit%8)) == 0 {
+					data[bit/8] |= 1 << (bit % 8)
+					if err := fs.logWrite(t, bh); err != nil {
+						_ = bh.Release()
+						return 0, err
+					}
+					_ = bh.Release()
+					// Zero the block.
+					zb, err := fs.bc.GetNoRead(t, int(cur))
+					if err != nil {
+						return 0, err
+					}
+					clear(zb.Data())
+					if err := fs.logWrite(t, zb); err != nil {
+						_ = zb.Release()
+						return 0, err
+					}
+					_ = zb.Release()
+					fs.blockRotor = cur + 1
+					return cur, nil
+				}
+			}
+			_ = bh.Release()
+			b = end
+		}
+	}
+	return 0, fsapi.ErrNoSpace
+}
+
+func (fs *FS) bfree(t *kernel.Task, blk uint32) error {
+	if blk < fs.super.DataStart || blk >= fs.super.Size {
+		return fmt.Errorf("xv6vfs: bfree %d outside data region: %w", blk, fsapi.ErrInvalid)
+	}
+	fs.allocMu.Lock()
+	defer fs.allocMu.Unlock()
+	bh, err := fs.bc.Get(t, int(fs.super.BitmapBlock(blk)))
+	if err != nil {
+		return err
+	}
+	data := bh.Data()
+	bit := blk % layout.BitsPerBlock
+	if data[bit/8]&(1<<(bit%8)) == 0 {
+		_ = bh.Release()
+		return fmt.Errorf("xv6vfs: double free of %d: %w", blk, fsapi.ErrCorrupt)
+	}
+	data[bit/8] &^= 1 << (bit % 8)
+	if err := fs.logWrite(t, bh); err != nil {
+		_ = bh.Release()
+		return err
+	}
+	if blk < fs.blockRotor {
+		fs.blockRotor = blk
+	}
+	return bh.Release()
+}
+
+func (fs *FS) ialloc(t *kernel.Task, typ uint16) (*inode, error) {
+	fs.imu.Lock()
+	defer fs.imu.Unlock()
+	sb := &fs.super
+	rotor := fs.inodeRotor
+	if rotor < 2 || rotor >= sb.NInodes {
+		rotor = 2
+	}
+	for _, r := range [][2]uint32{{rotor, sb.NInodes}, {2, rotor}} {
+		for inum := r[0]; inum < r[1]; inum++ {
+			bh, err := fs.bc.Get(t, int(sb.InodeBlock(inum)))
+			if err != nil {
+				return nil, err
+			}
+			off := layout.InodeOffset(inum)
+			din := layout.DecodeDinode(bh.Data()[off:])
+			if din.Type != layout.TypeFree {
+				_ = bh.Release()
+				continue
+			}
+			din = layout.Dinode{Type: typ}
+			din.Encode(bh.Data()[off:])
+			if err := fs.logWrite(t, bh); err != nil {
+				_ = bh.Release()
+				return nil, err
+			}
+			_ = bh.Release()
+			fs.inodeRotor = inum + 1
+			ip := fs.iget(inum)
+			ip.mu.Lock()
+			ip.din = din
+			ip.valid = true
+			ip.mu.Unlock()
+			return ip, nil
+		}
+	}
+	return nil, fsapi.ErrNoInodes
+}
+
+// --- in-core inodes ---
+
+func (fs *FS) iget(inum uint32) *inode {
+	fs.itabMu.Lock()
+	defer fs.itabMu.Unlock()
+	if ip, ok := fs.inodes[inum]; ok {
+		ip.ref++
+		return ip
+	}
+	ip := &inode{inum: inum, ref: 1}
+	fs.inodes[inum] = ip
+	return ip
+}
+
+func (fs *FS) ilock(t *kernel.Task, ip *inode) error {
+	ip.mu.Lock()
+	if ip.valid {
+		return nil
+	}
+	bh, err := fs.bc.Get(t, int(fs.super.InodeBlock(ip.inum)))
+	if err != nil {
+		ip.mu.Unlock()
+		return err
+	}
+	ip.din = layout.DecodeDinode(bh.Data()[layout.InodeOffset(ip.inum):])
+	_ = bh.Release()
+	if ip.din.Type == layout.TypeFree {
+		ip.mu.Unlock()
+		return fsapi.ErrStale
+	}
+	ip.valid = true
+	return nil
+}
+
+func (fs *FS) iupdate(t *kernel.Task, ip *inode) error {
+	bh, err := fs.bc.Get(t, int(fs.super.InodeBlock(ip.inum)))
+	if err != nil {
+		return err
+	}
+	ip.din.Encode(bh.Data()[layout.InodeOffset(ip.inum):])
+	if err := fs.logWrite(t, bh); err != nil {
+		_ = bh.Release()
+		return err
+	}
+	return bh.Release()
+}
+
+// iput drops a ref; hasTxn as in the Bento version.
+func (fs *FS) iput(t *kernel.Task, ip *inode, hasTxn bool) error {
+	ip.mu.Lock()
+	if ip.valid && ip.din.Nlink == 0 {
+		fs.itabMu.Lock()
+		r := ip.ref
+		fs.itabMu.Unlock()
+		if r == 1 {
+			if !hasTxn {
+				ip.mu.Unlock()
+				fs.beginOp(t, layout.MaxOpBlocks)
+				err := fs.iput(t, ip, true)
+				if e := fs.endOp(t, layout.MaxOpBlocks); err == nil {
+					err = e
+				}
+				return err
+			}
+			if err := fs.itrunc(t, ip); err != nil {
+				ip.mu.Unlock()
+				return err
+			}
+			ip.din.Type = layout.TypeFree
+			if err := fs.iupdate(t, ip); err != nil {
+				ip.mu.Unlock()
+				return err
+			}
+			fs.imu.Lock()
+			if ip.inum < fs.inodeRotor {
+				fs.inodeRotor = ip.inum
+			}
+			fs.imu.Unlock()
+			ip.valid = false
+		}
+	}
+	ip.mu.Unlock()
+	fs.itabMu.Lock()
+	ip.ref--
+	if ip.ref == 0 {
+		delete(fs.inodes, ip.inum)
+	}
+	fs.itabMu.Unlock()
+	return nil
+}
+
+// bmap maps file block bn, allocating when alloc is set. Caller holds
+// ip.mu and a transaction when allocating.
+func (fs *FS) bmap(t *kernel.Task, ip *inode, bn uint64, alloc bool) (uint32, error) {
+	if bn >= layout.MaxFileBlocks {
+		return 0, fsapi.ErrFileTooBig
+	}
+	if bn < layout.NDirect {
+		if ip.din.Addrs[bn] == 0 && alloc {
+			a, err := fs.balloc(t)
+			if err != nil {
+				return 0, err
+			}
+			ip.din.Addrs[bn] = a
+			if err := fs.iupdate(t, ip); err != nil {
+				return 0, err
+			}
+		}
+		return ip.din.Addrs[bn], nil
+	}
+	var idxs []int
+	var slot *uint32
+	if bn < layout.NDirect+layout.NIndirect {
+		slot = &ip.din.Addrs[layout.IndirectSlot]
+		idxs = []int{int(bn - layout.NDirect)}
+	} else {
+		off := bn - layout.NDirect - layout.NIndirect
+		slot = &ip.din.Addrs[layout.DIndirectSlot]
+		idxs = []int{int(off / layout.NIndirect), int(off % layout.NIndirect)}
+	}
+	cur := *slot
+	if cur == 0 {
+		if !alloc {
+			return 0, nil
+		}
+		a, err := fs.balloc(t)
+		if err != nil {
+			return 0, err
+		}
+		*slot = a
+		if err := fs.iupdate(t, ip); err != nil {
+			return 0, err
+		}
+		cur = a
+	}
+	for _, idx := range idxs {
+		bh, err := fs.bc.Get(t, int(cur))
+		if err != nil {
+			return 0, err
+		}
+		data := bh.Data()
+		next := u32(data, 4*idx)
+		if next == 0 {
+			if !alloc {
+				_ = bh.Release()
+				return 0, nil
+			}
+			a, err := fs.balloc(t)
+			if err != nil {
+				_ = bh.Release()
+				return 0, err
+			}
+			pu32(data, 4*idx, a)
+			if err := fs.logWrite(t, bh); err != nil {
+				_ = bh.Release()
+				return 0, err
+			}
+			next = a
+		}
+		_ = bh.Release()
+		cur = next
+	}
+	return cur, nil
+}
+
+func (fs *FS) itrunc(t *kernel.Task, ip *inode) error {
+	for i := 0; i < layout.NDirect; i++ {
+		if a := ip.din.Addrs[i]; a != 0 {
+			if err := fs.bfree(t, a); err != nil {
+				return err
+			}
+			ip.din.Addrs[i] = 0
+		}
+	}
+	freeTree := func(blk uint32, depth int) error {
+		var rec func(uint32, int) error
+		rec = func(b uint32, d int) error {
+			bh, err := fs.bc.Get(t, int(b))
+			if err != nil {
+				return err
+			}
+			data := bh.Data()
+			for i := 0; i < layout.NIndirect; i++ {
+				a := u32(data, 4*i)
+				if a == 0 {
+					continue
+				}
+				if d > 1 {
+					if err := rec(a, d-1); err != nil {
+						_ = bh.Release()
+						return err
+					}
+				} else if err := fs.bfree(t, a); err != nil {
+					_ = bh.Release()
+					return err
+				}
+			}
+			_ = bh.Release()
+			return fs.bfree(t, b)
+		}
+		return rec(blk, depth)
+	}
+	if a := ip.din.Addrs[layout.IndirectSlot]; a != 0 {
+		if err := freeTree(a, 1); err != nil {
+			return err
+		}
+		ip.din.Addrs[layout.IndirectSlot] = 0
+	}
+	if a := ip.din.Addrs[layout.DIndirectSlot]; a != 0 {
+		if err := freeTree(a, 2); err != nil {
+			return err
+		}
+		ip.din.Addrs[layout.DIndirectSlot] = 0
+	}
+	ip.din.Size = 0
+	return fs.iupdate(t, ip)
+}
+
+func (fs *FS) readi(t *kernel.Task, ip *inode, off int64, buf []byte) (int, error) {
+	if off < 0 {
+		return 0, fsapi.ErrInvalid
+	}
+	size := int64(ip.din.Size)
+	if off >= size {
+		return 0, nil
+	}
+	want := int64(len(buf))
+	if off+want > size {
+		want = size - off
+	}
+	var done int64
+	for done < want {
+		bn := uint64((off + done) / layout.BlockSize)
+		bo := (off + done) % layout.BlockSize
+		n := min64(int64(layout.BlockSize)-bo, want-done)
+		blk, err := fs.bmap(t, ip, bn, false)
+		if err != nil {
+			return int(done), err
+		}
+		if blk == 0 {
+			clear(buf[done : done+n])
+		} else {
+			bh, err := fs.bc.Get(t, int(blk))
+			if err != nil {
+				return int(done), err
+			}
+			copy(buf[done:done+n], bh.Data()[bo:bo+n])
+			_ = bh.Release()
+		}
+		done += n
+	}
+	return int(done), nil
+}
+
+func (fs *FS) writei(t *kernel.Task, ip *inode, off int64, buf []byte) (int, error) {
+	if off < 0 || off+int64(len(buf)) > layout.MaxFileSize {
+		return 0, fsapi.ErrFileTooBig
+	}
+	var done int64
+	want := int64(len(buf))
+	for done < want {
+		bn := uint64((off + done) / layout.BlockSize)
+		bo := (off + done) % layout.BlockSize
+		n := min64(int64(layout.BlockSize)-bo, want-done)
+		blk, err := fs.bmap(t, ip, bn, true)
+		if err != nil {
+			return int(done), err
+		}
+		var bh *kernel.BufferHead
+		if n == layout.BlockSize {
+			bh, err = fs.bc.GetNoRead(t, int(blk))
+		} else {
+			bh, err = fs.bc.Get(t, int(blk))
+		}
+		if err != nil {
+			return int(done), err
+		}
+		copy(bh.Data()[bo:bo+n], buf[done:done+n])
+		if err := fs.logWrite(t, bh); err != nil {
+			_ = bh.Release()
+			return int(done), err
+		}
+		_ = bh.Release()
+		done += n
+	}
+	if end := off + done; end > int64(ip.din.Size) {
+		ip.din.Size = uint64(end)
+	}
+	return int(done), fs.iupdate(t, ip)
+}
+
+func u32(b []byte, off int) uint32 {
+	return uint32(b[off]) | uint32(b[off+1])<<8 | uint32(b[off+2])<<16 | uint32(b[off+3])<<24
+}
+
+func pu32(b []byte, off int, v uint32) {
+	b[off], b[off+1], b[off+2], b[off+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
