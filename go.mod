@@ -1,0 +1,3 @@
+module bento
+
+go 1.22

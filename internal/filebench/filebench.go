@@ -121,6 +121,17 @@ func (c *MicroConfig) defaults() {
 	}
 }
 
+// patternChunk returns the shared 1 MiB fill pattern for prepareFile.
+// It is generated once: prepareFile runs for every thread of every
+// workload, and callers only read the chunk.
+var patternChunk = sync.OnceValue(func() []byte {
+	chunk := make([]byte, 1<<20)
+	for i := range chunk {
+		chunk[i] = byte(i * 31)
+	}
+	return chunk
+})
+
 // prepareFile creates and writes a per-thread working file, then syncs so
 // the measured phase starts from a clean, cached state.
 func prepareFile(tg Target, task *kernel.Task, path string, size int64) error {
@@ -129,10 +140,7 @@ func prepareFile(tg Target, task *kernel.Task, path string, size int64) error {
 		return err
 	}
 	defer tg.M.Close(task, f)
-	chunk := make([]byte, 1<<20)
-	for i := range chunk {
-		chunk[i] = byte(i * 31)
-	}
+	chunk := patternChunk()
 	var off int64
 	for off < size {
 		n := int64(len(chunk))

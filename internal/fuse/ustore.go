@@ -2,12 +2,12 @@ package fuse
 
 import (
 	"fmt"
-	"sync"
 
 	"bento/internal/bentoks"
 	"bento/internal/blockdev"
 	"bento/internal/fsapi"
 	"bento/internal/kernel"
+	"bento/internal/lru"
 )
 
 // UserDisk implements bentoks.Disk for a file system running in
@@ -15,33 +15,36 @@ import (
 // (paper §6.2), so every block read or write is a synchronous system
 // call, writes cannot overlap on the device queue, and durability
 // requires fsync of the whole disk file — a full device FLUSH. It keeps
-// a user-level buffer cache, as the paper's Rust FUSE xv6 did.
+// a user-level buffer cache, as the paper's Rust FUSE xv6 did, built on
+// the same O(1) intrusive-LRU infrastructure as the kernel buffer cache.
 type UserDisk struct {
 	dev *blockdev.Device
 
-	mu    sync.Mutex
-	cache map[int]*ubuf
-	cap   int
-	seq   int64
+	cache *lru.Cache[*ubuf]
 }
 
-// NewUserDisk opens the disk file O_DIRECT-style over dev.
+// NewUserDisk opens the disk file O_DIRECT-style over dev. The cache is
+// single-sharded: victim selection is exactly global LRU.
 func NewUserDisk(dev *blockdev.Device, cacheBlocks int) *UserDisk {
 	if cacheBlocks <= 0 {
 		cacheBlocks = kernel.DefaultBufferCacheCap
 	}
-	return &UserDisk{dev: dev, cache: make(map[int]*ubuf), cap: cacheBlocks}
+	return &UserDisk{dev: dev, cache: lru.New[*ubuf](cacheBlocks, 1)}
 }
 
-// ubuf is a userspace cached block.
+// ubuf is a userspace cached block. Like the kernel BufferHead it is
+// published to the cache locked and unfilled (lru.FillState); the miss
+// path fills it before unlocking so concurrent readers of the same
+// block wait for the pread to complete.
 type ubuf struct {
-	ud      *UserDisk
-	blk     int
-	data    []byte
-	refs    int
-	dirty   bool
-	lastUse int64
+	lru.FillState
+	node lru.Node
+	ud   *UserDisk
+	data []byte
 }
+
+// LRUNode exposes the intrusive cache hook (lru.Entry).
+func (b *ubuf) LRUNode() *lru.Node { return &b.node }
 
 var _ bentoks.Disk = (*UserDisk)(nil)
 
@@ -50,6 +53,9 @@ func (ud *UserDisk) BlockSize() int { return ud.dev.BlockSize() }
 
 // Blocks implements bentoks.Disk.
 func (ud *UserDisk) Blocks() int { return ud.dev.Blocks() }
+
+// Stats reports user-cache traffic counters.
+func (ud *UserDisk) Stats() lru.Stats { return ud.cache.Stats() }
 
 // BRead implements bentoks.Disk: a user-cache probe, with a pread(2) of
 // the disk file on a miss.
@@ -67,46 +73,31 @@ func (ud *UserDisk) get(t *kernel.Task, blk int, fill bool) (bentoks.Buffer, err
 		return nil, fmt.Errorf("userdisk: block %d: %w", blk, fsapi.ErrInvalid)
 	}
 	t.Charge(t.Model().BufferCacheLookup)
-	ud.mu.Lock()
-	ud.seq++
-	if b, ok := ud.cache[blk]; ok {
-		b.refs++
-		b.lastUse = ud.seq
-		ud.mu.Unlock()
+	b, hit := ud.cache.GetOrInsert(int64(blk), func() *ubuf {
+		nb := &ubuf{ud: ud, data: make([]byte, ud.dev.BlockSize())}
+		nb.BeginFill() // published locked; unlocked once the fill resolves
+		return nb
+	})
+	if hit {
+		if err := b.AwaitFill(); err != nil {
+			ud.cache.Release(b)
+			return nil, err
+		}
 		return b, nil
 	}
-	b := &ubuf{ud: ud, blk: blk, data: make([]byte, ud.dev.BlockSize()), refs: 1, lastUse: ud.seq}
-	ud.evictLocked()
-	ud.cache[blk] = b
-	ud.mu.Unlock()
 
 	if fill {
 		// pread(disk file): syscall + crossing + synchronous device read.
 		t.Charge(t.Model().UserBlockSyscall)
 		t.Charge(t.Model().Copy(len(b.data)))
 		if err := ud.dev.Read(t.Clk, blk, b.data); err != nil {
-			ud.mu.Lock()
-			delete(ud.cache, blk)
-			ud.mu.Unlock()
+			ud.cache.Drop(int64(blk))
+			b.FailFill(err)
 			return nil, err
 		}
 	}
+	b.CompleteFill()
 	return b, nil
-}
-
-func (ud *UserDisk) evictLocked() {
-	for len(ud.cache) >= ud.cap {
-		victim, use := -1, int64(1<<62)
-		for blk, b := range ud.cache {
-			if b.refs == 0 && !b.dirty && b.lastUse < use {
-				victim, use = blk, b.lastUse
-			}
-		}
-		if victim < 0 {
-			return
-		}
-		delete(ud.cache, victim)
-	}
 }
 
 // WithBuffer implements bentoks.Disk.
@@ -120,17 +111,10 @@ func (ud *UserDisk) WithBuffer(t *kernel.Task, blk int, fn func(bentoks.Buffer) 
 }
 
 // SyncDirtyBuffers implements bentoks.Disk: pwrite each dirty block
-// synchronously (O_DIRECT writes cannot be queued from userspace).
+// synchronously (O_DIRECT writes cannot be queued from userspace). Only
+// the dirty set is visited, in block order.
 func (ud *UserDisk) SyncDirtyBuffers(t *kernel.Task) error {
-	ud.mu.Lock()
-	var dirty []*ubuf
-	for _, b := range ud.cache {
-		if b.dirty {
-			dirty = append(dirty, b)
-		}
-	}
-	ud.mu.Unlock()
-	for _, b := range dirty {
+	for _, b := range ud.cache.DirtyEntries() {
 		if err := b.WriteSync(t); err != nil {
 			return err
 		}
@@ -149,7 +133,7 @@ func (ud *UserDisk) Flush(t *kernel.Task) error {
 // --- ubuf: bentoks.Buffer ---
 
 // BlockNo implements bentoks.Buffer.
-func (b *ubuf) BlockNo() int { return b.blk }
+func (b *ubuf) BlockNo() int { return int(b.node.Key()) }
 
 // Data implements bentoks.Buffer.
 func (b *ubuf) Data() ([]byte, error) { return b.data, nil }
@@ -164,9 +148,7 @@ func (b *ubuf) Slice(off, n int) ([]byte, error) {
 
 // MarkDirty implements bentoks.Buffer.
 func (b *ubuf) MarkDirty() error {
-	b.ud.mu.Lock()
-	b.dirty = true
-	b.ud.mu.Unlock()
+	b.ud.cache.MarkDirty(b)
 	return nil
 }
 
@@ -185,22 +167,17 @@ func (b *ubuf) SubmitWrite(t *kernel.Task) (int64, error) {
 func (b *ubuf) WriteSync(t *kernel.Task) error {
 	t.Charge(t.Model().UserBlockSyscall)
 	t.Charge(t.Model().Copy(len(b.data)))
-	if err := b.ud.dev.Write(t.Clk, b.blk, b.data); err != nil {
+	if err := b.ud.dev.Write(t.Clk, b.BlockNo(), b.data); err != nil {
 		return err
 	}
-	b.ud.mu.Lock()
-	b.dirty = false
-	b.ud.mu.Unlock()
+	b.ud.cache.ClearDirty(b)
 	return nil
 }
 
 // Release implements bentoks.Buffer.
 func (b *ubuf) Release() error {
-	b.ud.mu.Lock()
-	defer b.ud.mu.Unlock()
-	if b.refs <= 0 {
-		return fmt.Errorf("userdisk: double release of block %d: %w", b.blk, fsapi.ErrInvalid)
+	if !b.ud.cache.Release(b) {
+		return fmt.Errorf("userdisk: double release of block %d: %w", b.BlockNo(), fsapi.ErrInvalid)
 	}
-	b.refs--
 	return nil
 }

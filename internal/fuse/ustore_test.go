@@ -1,0 +1,156 @@
+package fuse
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"bento/internal/blockdev"
+	"bento/internal/costmodel"
+	"bento/internal/fsapi"
+	"bento/internal/kernel"
+)
+
+func newTestUserDisk(t *testing.T, cacheBlocks int) (*UserDisk, *kernel.Task) {
+	t.Helper()
+	model := costmodel.Default()
+	dev, err := blockdev.New(blockdev.Config{Blocks: 4096, Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New(model)
+	return NewUserDisk(dev, cacheBlocks), k.NewTask("ud-test")
+}
+
+// TestUserDiskExactLRU mirrors the kernel buffer-cache test: the user
+// cache must evict the least recently used clean, unreferenced block.
+func TestUserDiskExactLRU(t *testing.T) {
+	ud, task := newTestUserDisk(t, 4)
+	readRelease := func(blk int) {
+		t.Helper()
+		b, err := ud.BRead(task, blk)
+		if err != nil {
+			t.Fatalf("BRead(%d): %v", blk, err)
+		}
+		if err := b.Release(); err != nil {
+			t.Fatalf("Release(%d): %v", blk, err)
+		}
+	}
+	for blk := 0; blk < 4; blk++ {
+		readRelease(blk)
+	}
+	readRelease(0) // rescue 0 from the LRU tail
+	readRelease(4) // evicts 1
+	base := ud.Stats()
+	readRelease(0)
+	readRelease(2)
+	readRelease(3)
+	if st := ud.Stats(); st.Hits != base.Hits+3 {
+		t.Fatalf("resident blocks missed: %+v vs %+v", st, base)
+	}
+	readRelease(1)
+	if st := ud.Stats(); st.Misses != base.Misses+1 {
+		t.Fatalf("block 1 was not the victim: %+v vs %+v", st, base)
+	}
+}
+
+// TestUserDiskSyncDirtyBuffers checks only the dirty set is written.
+func TestUserDiskSyncDirtyBuffers(t *testing.T) {
+	ud, task := newTestUserDisk(t, 64)
+	for blk := 0; blk < 8; blk++ {
+		b, err := ud.BRead(task, blk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if blk%2 == 0 {
+			if err := b.MarkDirty(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := b.Release(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	devWrites := ud.dev.Stats().Writes
+	if err := ud.SyncDirtyBuffers(task); err != nil {
+		t.Fatal(err)
+	}
+	if got := ud.dev.Stats().Writes - devWrites; got != 4 {
+		t.Fatalf("device writes = %d, want 4 (only the dirty set)", got)
+	}
+	if err := ud.SyncDirtyBuffers(task); err != nil {
+		t.Fatal(err)
+	}
+	if got := ud.dev.Stats().Writes - devWrites; got != 4 {
+		t.Fatalf("second sync rewrote clean blocks (%d writes)", got)
+	}
+}
+
+// TestUserDiskReadError checks a failed pread does not leave a poisoned
+// cache entry behind.
+func TestUserDiskReadError(t *testing.T) {
+	ud, task := newTestUserDisk(t, 16)
+	ud.dev.InjectReadError(7)
+	if _, err := ud.BRead(task, 7); !errors.Is(err, blockdev.ErrIO) {
+		t.Fatalf("BRead(7) = %v, want ErrIO", err)
+	}
+	ud.dev.ClearFaults()
+	b, err := ud.BRead(task, 7)
+	if err != nil {
+		t.Fatalf("BRead(7) after clearing fault: %v", err)
+	}
+	if err := b.Release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUserDiskDoubleRelease checks the brelse error path.
+func TestUserDiskDoubleRelease(t *testing.T) {
+	ud, task := newTestUserDisk(t, 16)
+	b, err := ud.BRead(task, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Release(); !errors.Is(err, fsapi.ErrInvalid) {
+		t.Fatalf("double release = %v, want ErrInvalid", err)
+	}
+}
+
+// TestUserDiskConcurrent hammers the cache from several tasks under the
+// race detector.
+func TestUserDiskConcurrent(t *testing.T) {
+	model := costmodel.Default()
+	dev, err := blockdev.New(blockdev.Config{Blocks: 4096, Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New(model)
+	ud := NewUserDisk(dev, 64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			task := k.NewTask(fmt.Sprintf("w%d", seed))
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 300; i++ {
+				blk := int(rng.Int31n(256))
+				b, err := ud.BRead(task, blk)
+				if err != nil {
+					t.Errorf("BRead(%d): %v", blk, err)
+					return
+				}
+				if err := b.Release(); err != nil {
+					t.Errorf("Release(%d): %v", blk, err)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+}

@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// determinismOpts trims the quick options so two full runs of an
+// experiment stay cheap: the point is virtual-time reproducibility, not
+// scale.
+func determinismOpts() Options {
+	o := Quick()
+	o.Duration = 30 * time.Millisecond
+	o.MaxOps = 500
+	return o
+}
+
+// TestFig2Deterministic runs the Figure 2 read experiment twice and
+// requires identical virtual-time results (ops, bytes, elapsed) for
+// every variant and cell. The block caches are a host-CPU optimization:
+// their LRU bookkeeping must not leak host nondeterminism into the
+// simulated clock.
+func TestFig2Deterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full experiment runs")
+	}
+	_, first, err := Fig2(determinismOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, second, err := Fig2(determinismOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("Fig2 virtual-time outputs differ between runs:\nrun1: %v\nrun2: %v", first, second)
+	}
+}
+
+// TestTable4Deterministic does the same for the createfiles experiment,
+// which exercises the dirty-set and write-back paths. Only the
+// single-threaded cells are compared: 32-thread runs interleave on the
+// shared device queue in host-scheduling order, which the seed harness
+// already made order-sensitive — the requirement on the cache layer is
+// that fully-ordered runs stay byte-identical.
+func TestTable4Deterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full experiment runs")
+	}
+	_, first, err := Table4(determinismOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, second, err := Table4(determinismOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for variant, rs1 := range first {
+		rs2 := second[variant]
+		if len(rs1) != len(rs2) {
+			t.Fatalf("%s: %d results vs %d", variant, len(rs1), len(rs2))
+		}
+		for i := range rs1 {
+			if !strings.Contains(rs1[i].Name, "-1t") {
+				continue
+			}
+			if !reflect.DeepEqual(rs1[i], rs2[i]) {
+				t.Errorf("%s/%s differs between runs:\nrun1: %v\nrun2: %v",
+					variant, rs1[i].Name, rs1[i], rs2[i])
+			}
+		}
+	}
+}

@@ -2,26 +2,26 @@ package kernel
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 
 	"bento/internal/blockdev"
 	"bento/internal/costmodel"
 	"bento/internal/fsapi"
+	"bento/internal/lru"
 )
 
 // BufferCache is the kernel's block buffer cache: the sb_bread/brelse
 // interface file systems use for metadata I/O. Buffers are reference
 // counted; clean, unreferenced buffers are evicted in LRU order once the
-// cache reaches capacity.
+// cache reaches capacity. Lookup, touch, and eviction are all O(1) via
+// the shared intrusive-LRU infrastructure in internal/lru; sync paths
+// visit only the explicit dirty set.
 type BufferCache struct {
 	dev   *blockdev.Device
 	model *costmodel.Model
 
-	mu    sync.Mutex
-	bufs  map[int]*BufferHead
-	cap   int
-	seq   int64
-	stats BufferCacheStats
+	cache  *lru.Cache[*BufferHead]
+	writes atomic.Int64
 }
 
 // BufferCacheStats counts cache traffic.
@@ -33,32 +33,44 @@ type BufferCacheStats struct {
 }
 
 // BufferHead is one cached block, the analogue of struct buffer_head. The
-// embedded mutex is the buffer lock (xv6's sleep lock); file systems lock
-// a buffer while reading or mutating its contents.
+// embedded FillState mutex is the buffer lock (xv6's sleep lock); file
+// systems lock a buffer while reading or mutating its contents. A buffer
+// is published to the cache locked and unfilled; the miss path fills it
+// from the device before unlocking, so concurrent getters of the same
+// block wait for the fill instead of observing zeroed data.
 type BufferHead struct {
-	sync.Mutex
-	bc      *BufferCache
-	blk     int
-	data    []byte
-	refs    int
-	dirty   bool
-	lastUse int64
+	lru.FillState
+	node lru.Node
+	bc   *BufferCache
+	data []byte
 }
+
+// LRUNode exposes the intrusive cache hook (lru.Entry).
+func (b *BufferHead) LRUNode() *lru.Node { return &b.node }
 
 // DefaultBufferCacheCap bounds the buffer cache at 4096 blocks (16 MiB of
 // 4K blocks), enough that hot metadata stays resident in every workload.
 const DefaultBufferCacheCap = 4096
 
-// NewBufferCache creates a buffer cache over dev.
+// NewBufferCache creates a buffer cache over dev with a single shard:
+// victim selection is exactly global LRU, which keeps virtual-time
+// metrics independent of host-side concurrency.
 func NewBufferCache(dev *blockdev.Device, model *costmodel.Model, capacity int) *BufferCache {
+	return NewBufferCacheSharded(dev, model, capacity, 1)
+}
+
+// NewBufferCacheSharded creates a buffer cache whose index is split over
+// the given number of shards with per-shard locks, so many-threaded
+// workloads stop serializing on one mutex. Each shard evicts its own LRU
+// tail, so victim selection is exact only per shard.
+func NewBufferCacheSharded(dev *blockdev.Device, model *costmodel.Model, capacity, shards int) *BufferCache {
 	if capacity <= 0 {
 		capacity = DefaultBufferCacheCap
 	}
 	return &BufferCache{
 		dev:   dev,
 		model: model,
-		bufs:  make(map[int]*BufferHead),
-		cap:   capacity,
+		cache: lru.New[*BufferHead](capacity, shards),
 	}
 }
 
@@ -67,10 +79,17 @@ func (bc *BufferCache) Device() *blockdev.Device { return bc.dev }
 
 // Stats returns a snapshot of cache counters.
 func (bc *BufferCache) Stats() BufferCacheStats {
-	bc.mu.Lock()
-	defer bc.mu.Unlock()
-	return bc.stats
+	cs := bc.cache.Stats()
+	return BufferCacheStats{
+		Hits:      cs.Hits,
+		Misses:    cs.Misses,
+		Evictions: cs.Evictions,
+		Writes:    bc.writes.Load(),
+	}
 }
+
+// Len reports the number of resident buffers.
+func (bc *BufferCache) Len() int { return bc.cache.Len() }
 
 // Get returns the buffer for blk with its reference count incremented,
 // reading it from the device on a miss (sb_bread). The caller must
@@ -92,76 +111,46 @@ func (bc *BufferCache) get(t *Task, blk int, read bool) (*BufferHead, error) {
 	}
 	t.Charge(bc.model.BufferCacheLookup)
 
-	bc.mu.Lock()
-	bc.seq++
-	if b, ok := bc.bufs[blk]; ok {
-		b.refs++
-		b.lastUse = bc.seq
-		bc.stats.Hits++
-		bc.mu.Unlock()
+	b, hit := bc.cache.GetOrInsert(int64(blk), func() *BufferHead {
+		nb := &BufferHead{bc: bc, data: make([]byte, bc.dev.BlockSize())}
+		nb.BeginFill() // published locked; unlocked once the fill resolves
+		return nb
+	})
+	if hit {
+		if err := b.AwaitFill(); err != nil {
+			bc.cache.Release(b)
+			return nil, err
+		}
 		return b, nil
 	}
-	bc.stats.Misses++
-	b := &BufferHead{bc: bc, blk: blk, data: make([]byte, bc.dev.BlockSize()), refs: 1, lastUse: bc.seq}
-	bc.evictLocked()
-	bc.bufs[blk] = b
-	bc.mu.Unlock()
 
 	if read {
 		if err := bc.dev.Read(t.Clk, blk, b.data); err != nil {
-			bc.mu.Lock()
-			delete(bc.bufs, blk)
-			bc.mu.Unlock()
+			bc.cache.Drop(int64(blk))
+			b.FailFill(err)
 			return nil, err
 		}
 	}
+	b.CompleteFill()
 	return b, nil
-}
-
-// evictLocked removes clean, unreferenced buffers until under capacity.
-func (bc *BufferCache) evictLocked() {
-	for len(bc.bufs) >= bc.cap {
-		victimBlk, victimUse := -1, int64(1<<62)
-		for blk, b := range bc.bufs {
-			if b.refs == 0 && !b.dirty && b.lastUse < victimUse {
-				victimBlk, victimUse = blk, b.lastUse
-			}
-		}
-		if victimBlk < 0 {
-			return // everything pinned or dirty; allow overflow
-		}
-		delete(bc.bufs, victimBlk)
-		bc.stats.Evictions++
-	}
 }
 
 // SyncDirty submits every dirty buffer to the device as one batch (filling
 // the device queues), waits for completion, and marks them clean. It does
 // NOT issue a FLUSH; callers that need durability also call
-// Device().Flush.
+// Device().Flush. Only the dirty set is visited, in block order.
 func (bc *BufferCache) SyncDirty(t *Task) error {
-	bc.mu.Lock()
-	var dirty []*BufferHead
-	for _, b := range bc.bufs {
-		if b.dirty {
-			dirty = append(dirty, b)
-		}
-	}
-	bc.mu.Unlock()
-
 	var last int64
-	for _, b := range dirty {
+	for _, b := range bc.cache.DirtyEntries() {
 		b.Lock()
-		done, err := bc.dev.Submit(t.Clk, b.blk, b.data)
+		done, err := bc.dev.Submit(t.Clk, b.BlockNo(), b.data)
 		if err != nil {
 			b.Unlock()
 			return err
 		}
-		b.dirty = false
+		bc.cache.ClearDirty(b)
 		b.Unlock()
-		bc.mu.Lock()
-		bc.stats.Writes++
-		bc.mu.Unlock()
+		bc.writes.Add(1)
 		if done > last {
 			last = done
 		}
@@ -174,19 +163,16 @@ func (bc *BufferCache) SyncDirty(t *Task) error {
 // device crash so stale cached contents cannot mask lost writes. It
 // fails if any buffer is still referenced.
 func (bc *BufferCache) InvalidateAll() error {
-	bc.mu.Lock()
-	defer bc.mu.Unlock()
-	for _, b := range bc.bufs {
-		if b.refs != 0 {
-			return fmt.Errorf("buffercache: block %d still referenced: %w", b.blk, fsapi.ErrBusy)
+	return bc.cache.Reset(func(b *BufferHead) error {
+		if b.node.Refs() != 0 {
+			return fmt.Errorf("buffercache: block %d still referenced: %w", b.BlockNo(), fsapi.ErrBusy)
 		}
-	}
-	bc.bufs = make(map[int]*BufferHead)
-	return nil
+		return nil
+	})
 }
 
 // BlockNo reports which block this buffer caches.
-func (b *BufferHead) BlockNo() int { return b.blk }
+func (b *BufferHead) BlockNo() int { return int(b.node.Key()) }
 
 // Data exposes the buffer's contents. The caller must hold the buffer
 // lock (or otherwise own the buffer) while touching it.
@@ -195,37 +181,25 @@ func (b *BufferHead) Data() []byte { return b.data }
 // MarkDirty flags the buffer as modified. A dirty buffer is written out by
 // SubmitWrite/WriteSync or SyncDirty.
 func (b *BufferHead) MarkDirty() {
-	b.bc.mu.Lock()
-	b.dirty = true
-	b.bc.mu.Unlock()
+	b.bc.cache.MarkDirty(b)
 }
 
 // Dirty reports whether the buffer has unwritten modifications.
-func (b *BufferHead) Dirty() bool {
-	b.bc.mu.Lock()
-	defer b.bc.mu.Unlock()
-	return b.dirty
-}
+func (b *BufferHead) Dirty() bool { return b.node.Dirty() }
 
 // Refs reports the current reference count (for leak diagnostics).
-func (b *BufferHead) Refs() int {
-	b.bc.mu.Lock()
-	defer b.bc.mu.Unlock()
-	return b.refs
-}
+func (b *BufferHead) Refs() int { return b.node.Refs() }
 
 // SubmitWrite queues the buffer's contents to the device and returns the
 // completion time without waiting; the buffer is marked clean. Writers
 // batch several SubmitWrites and AdvanceTo the latest completion.
 func (b *BufferHead) SubmitWrite(t *Task) (completion int64, err error) {
-	done, err := b.bc.dev.Submit(t.Clk, b.blk, b.data)
+	done, err := b.bc.dev.Submit(t.Clk, b.BlockNo(), b.data)
 	if err != nil {
 		return 0, err
 	}
-	b.bc.mu.Lock()
-	b.dirty = false
-	b.bc.stats.Writes++
-	b.bc.mu.Unlock()
+	b.bc.cache.ClearDirty(b)
+	b.bc.writes.Add(1)
 	return done, nil
 }
 
@@ -242,11 +216,8 @@ func (b *BufferHead) WriteSync(t *Task) error {
 // Release drops one reference (brelse). Releasing an unreferenced buffer
 // is a bug in the caller and returns an error.
 func (b *BufferHead) Release() error {
-	b.bc.mu.Lock()
-	defer b.bc.mu.Unlock()
-	if b.refs <= 0 {
-		return fmt.Errorf("buffercache: double release of block %d: %w", b.blk, fsapi.ErrInvalid)
+	if !b.bc.cache.Release(b) {
+		return fmt.Errorf("buffercache: double release of block %d: %w", b.BlockNo(), fsapi.ErrInvalid)
 	}
-	b.refs--
 	return nil
 }

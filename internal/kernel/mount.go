@@ -9,6 +9,7 @@ import (
 	"bento/internal/blockdev"
 	"bento/internal/costmodel"
 	"bento/internal/fsapi"
+	"bento/internal/lru"
 )
 
 // DefaultDirtyLimitPages is the per-mount dirty page budget (8 MiB). A
@@ -51,7 +52,9 @@ type dkey struct {
 }
 
 // vnode is the in-core inode: cached attributes plus this file's slice of
-// the page cache.
+// the page cache. The page cache is an lru.Core — map, intrusive recency
+// list, and explicit dirty set — driven under vn.mu, so the cache is
+// naturally sharded by file with a per-vnode lock.
 type vnode struct {
 	m   *Mount
 	ino fsapi.Ino
@@ -61,14 +64,24 @@ type vnode struct {
 	size     int64
 	opens    int
 	unlinked bool // nlink hit zero; discard on last close
-	pages    map[int64]*page
-	dirty    map[int64]struct{}
+	pc       lru.Core[*page]
 }
 
+// page is one cached 4K page. Readers bump lastUse under the shared
+// vnode lock (the PRead fast path), so recency reaches the LRU list
+// lazily: eviction runs a second-chance scan that rotates
+// touched-since-positioned pages back to the front.
 type page struct {
+	node    lru.Node
 	data    []byte
 	lastUse atomic.Int64
 }
+
+// LRUNode exposes the intrusive cache hook (lru.Entry).
+func (pg *page) LRUNode() *lru.Node { return &pg.node }
+
+// pageRecency is the second-chance recency reader for EvictScan.
+func pageRecency(pg *page) int64 { return pg.lastUse.Load() }
 
 func newMount(k *Kernel, fstype, mountPoint string, fs FileSystem, dev *blockdev.Device) *Mount {
 	return &Mount{
@@ -102,6 +115,13 @@ func (m *Mount) SetDirtyLimit(pages int64) {
 	}
 }
 
+// SetPageCacheCap overrides the page-cache capacity (testing/benchmarks).
+func (m *Mount) SetPageCacheCap(pages int64) {
+	if pages > 0 {
+		m.pageCap = pages
+	}
+}
+
 // SwapFS atomically replaces the file-system operations vector. Only the
 // online-upgrade machinery in internal/core calls this, with all
 // in-flight operations quiesced.
@@ -124,13 +144,9 @@ func (m *Mount) DropCaches() {
 	m.mu.Unlock()
 	for _, vn := range vns {
 		vn.mu.Lock()
-		for idx := range vn.pages {
-			if _, d := vn.dirty[idx]; !d {
-				delete(vn.pages, idx)
-				m.totalPages.Add(-1)
-			}
-		}
+		dropped := vn.pc.DropClean()
 		vn.mu.Unlock()
+		m.totalPages.Add(-int64(dropped))
 	}
 }
 
@@ -157,8 +173,6 @@ func (m *Mount) vnodeFor(t *Task, ino fsapi.Ino) (*vnode, error) {
 		ino:   ino,
 		ftype: st.Type,
 		size:  st.Size,
-		pages: make(map[int64]*page),
-		dirty: make(map[int64]struct{}),
 	}
 	m.vnodes[ino] = vn
 	return vn, nil
@@ -177,8 +191,6 @@ func (m *Mount) vnodeFromStat(st fsapi.Stat) *vnode {
 		ino:   st.Ino,
 		ftype: st.Type,
 		size:  st.Size,
-		pages: make(map[int64]*page),
-		dirty: make(map[int64]struct{}),
 	}
 	m.vnodes[st.Ino] = vn
 	return vn
@@ -187,10 +199,9 @@ func (m *Mount) vnodeFromStat(st fsapi.Stat) *vnode {
 // dropVnode removes an unlinked, closed vnode and its pages.
 func (m *Mount) dropVnode(vn *vnode) {
 	vn.mu.Lock()
-	nDirty := int64(len(vn.dirty))
-	nPages := int64(len(vn.pages))
-	vn.pages = make(map[int64]*page)
-	vn.dirty = make(map[int64]struct{})
+	nDirty := int64(vn.pc.DirtyLen())
+	nPages := int64(vn.pc.Len())
+	vn.pc.Clear()
 	vn.mu.Unlock()
 	m.dirtyPages.Add(-nDirty)
 	m.totalPages.Add(-nPages)
@@ -298,7 +309,7 @@ func (m *Mount) ResolveParent(t *Task, path string) (fsapi.Ino, string, error) {
 // loadPage returns the page at idx for vn, reading through the file system
 // on a miss. Caller holds vn.mu.
 func (vn *vnode) loadPage(t *Task, idx int64) (*page, error) {
-	if pg, ok := vn.pages[idx]; ok {
+	if pg, ok := vn.pc.Peek(idx); ok {
 		pg.lastUse.Store(vn.m.seq.Add(1))
 		return pg, nil
 	}
@@ -309,35 +320,34 @@ func (vn *vnode) loadPage(t *Task, idx int64) (*page, error) {
 			return nil, err
 		}
 	}
-	vn.pages[idx] = pg
+	vn.pc.Add(idx, pg)
 	if vn.m.totalPages.Add(1) > vn.m.pageCap {
+		// Pin the fresh page: with every other page dirty or pinned the
+		// scan could otherwise evict it before the caller writes to it.
+		pg.node.Pin()
 		vn.evictCleanLocked()
+		pg.node.Unpin()
 	}
 	return pg, nil
 }
 
-// evictCleanLocked drops a handful of clean pages from this vnode (map
-// iteration order provides the approximation of LRU). Caller holds vn.mu.
+// evictCleanLocked drops a handful of clean pages from this vnode in
+// second-chance LRU order: pages read since they were last positioned
+// (readers only bump lastUse, under the shared lock) get rotated back to
+// the front instead of evicted. Caller holds vn.mu.
 func (vn *vnode) evictCleanLocked() {
-	evicted := 0
-	for idx := range vn.pages {
-		if _, d := vn.dirty[idx]; d {
-			continue
-		}
-		delete(vn.pages, idx)
-		vn.m.totalPages.Add(-1)
-		evicted++
-		if evicted >= 16 {
+	for evicted := 0; evicted < 16; evicted++ {
+		if _, ok := vn.pc.EvictScan(pageRecency); !ok {
 			return
 		}
+		vn.m.totalPages.Add(-1)
 	}
 }
 
 // markDirty flags page idx dirty. Caller holds vn.mu. Reports whether the
 // mount's dirty budget is now exceeded.
 func (vn *vnode) markDirty(idx int64) (overLimit bool) {
-	if _, already := vn.dirty[idx]; !already {
-		vn.dirty[idx] = struct{}{}
+	if vn.pc.MarkDirty(idx) {
 		return vn.m.dirtyPages.Add(1) > vn.m.dirtyLimit
 	}
 	return vn.m.dirtyPages.Load() > vn.m.dirtyLimit
@@ -355,18 +365,18 @@ func (vn *vnode) writeback(t *Task) error {
 }
 
 func (vn *vnode) writebackLocked(t *Task) error {
-	if len(vn.dirty) == 0 {
+	if vn.pc.DirtyLen() == 0 {
 		return nil
 	}
-	idxs := make([]int64, 0, len(vn.dirty))
-	for idx := range vn.dirty {
-		idxs = append(idxs, idx)
-	}
-	sortInt64s(idxs)
+	idxs := vn.pc.DirtyKeys() // ascending
 
 	bw, batched := vn.m.fs.(BatchWriter)
 	model := vn.m.model
 
+	pageData := func(idx int64) []byte {
+		pg, _ := vn.pc.Peek(idx)
+		return pg.data
+	}
 	if batched {
 		// Group consecutive page indexes into runs.
 		for i := 0; i < len(idxs); {
@@ -376,7 +386,7 @@ func (vn *vnode) writebackLocked(t *Task) error {
 			}
 			run := make([][]byte, 0, j-i)
 			for _, idx := range idxs[i:j] {
-				run = append(run, vn.pages[idx].data)
+				run = append(run, pageData(idx))
 			}
 			t.Charge(model.WritepagesCall)
 			if err := bw.WritePages(t, vn.ino, idxs[i], run, vn.size); err != nil {
@@ -387,31 +397,14 @@ func (vn *vnode) writebackLocked(t *Task) error {
 	} else {
 		for _, idx := range idxs {
 			t.Charge(model.WritepageCall)
-			if err := vn.m.fs.WritePage(t, vn.ino, idx, vn.pages[idx].data, vn.size); err != nil {
+			if err := vn.m.fs.WritePage(t, vn.ino, idx, pageData(idx), vn.size); err != nil {
 				return err
 			}
 		}
 	}
-	vn.m.dirtyPages.Add(-int64(len(vn.dirty)))
-	vn.dirty = make(map[int64]struct{})
+	cleaned := vn.pc.ClearAllDirty()
+	vn.m.dirtyPages.Add(-int64(cleaned))
 	return nil
-}
-
-// sortInt64s is a tiny insertion-free sort for page runs.
-func sortInt64s(a []int64) {
-	// Dirty sets are usually written in order already; shell sort keeps
-	// this dependency-free and fast for the small, nearly-sorted slices
-	// the write-back path produces.
-	for gap := len(a) / 2; gap > 0; gap /= 2 {
-		for i := gap; i < len(a); i++ {
-			v := a[i]
-			j := i
-			for ; j >= gap && a[j-gap] > v; j -= gap {
-				a[j] = a[j-gap]
-			}
-			a[j] = v
-		}
-	}
 }
 
 // writebackAll flushes every vnode's dirty pages (sync path).

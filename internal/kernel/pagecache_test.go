@@ -1,0 +1,55 @@
+package kernel_test
+
+import (
+	"bytes"
+	"testing"
+
+	"bento/internal/fsapi"
+)
+
+// TestPageCacheFreshPageSurvivesEviction is a regression test: when the
+// page cache is over capacity and every resident page is dirty, the
+// eviction scan triggered by inserting a new page must not evict that
+// new page itself — the caller is about to write into it and mark it
+// dirty, and evicting it first silently loses the write.
+func TestPageCacheFreshPageSurvivesEviction(t *testing.T) {
+	_, m, task := newMount(t)
+	m.SetPageCacheCap(4)
+	m.SetDirtyLimit(1 << 20) // keep balance_dirty_pages out of the way
+
+	f, err := m.Open(task, "/victim", fsapi.OCreate|fsapi.ORdwr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close(task, f)
+
+	// Fill pages 0..7 with distinct full-page patterns, all left dirty.
+	// From page 4 on, every insert runs the eviction scan with nothing
+	// but dirty pages (and the fresh page) to choose from.
+	const pages = 8
+	for i := 0; i < pages; i++ {
+		pattern := bytes.Repeat([]byte{byte('A' + i)}, fsapi.PageSize)
+		if _, err := f.PWrite(task, pattern, int64(i)*fsapi.PageSize); err != nil {
+			t.Fatalf("PWrite(page %d): %v", i, err)
+		}
+	}
+	if err := f.FSync(task); err != nil {
+		t.Fatal(err)
+	}
+	m.DropCaches() // force reads through the file system, not the cache
+
+	buf := make([]byte, fsapi.PageSize)
+	for i := 0; i < pages; i++ {
+		n, err := f.PRead(task, buf, int64(i)*fsapi.PageSize)
+		if err != nil || n != fsapi.PageSize {
+			t.Fatalf("PRead(page %d) = %d, %v", i, n, err)
+		}
+		want := byte('A' + i)
+		for off, got := range buf {
+			if got != want {
+				t.Fatalf("page %d byte %d = %q, want %q (write silently lost to eviction)",
+					i, off, got, want)
+			}
+		}
+	}
+}

@@ -194,7 +194,7 @@ func (f *File) PRead(t *Task, buf []byte, off int64) (int, error) {
 			n = want - done
 		}
 		t.Charge(m.model.PageCacheLookup)
-		pg, ok := vn.pages[idx]
+		pg, ok := vn.pc.Peek(idx)
 		if ok {
 			pg.lastUse.Store(vn.m.seq.Add(1))
 		} else {
@@ -308,15 +308,19 @@ func (f *File) PWrite(t *Task, data []byte, off int64) (int, error) {
 // pageForOverwrite returns the page at idx without reading from disk,
 // because the caller is about to overwrite all of it. Caller holds vn.mu.
 func (vn *vnode) pageForOverwrite(idx int64) *page {
-	if pg, ok := vn.pages[idx]; ok {
+	if pg, ok := vn.pc.Peek(idx); ok {
 		pg.lastUse.Store(vn.m.seq.Add(1))
 		return pg
 	}
 	pg := &page{data: make([]byte, fsapi.PageSize)}
 	pg.lastUse.Store(vn.m.seq.Add(1))
-	vn.pages[idx] = pg
+	vn.pc.Add(idx, pg)
 	if vn.m.totalPages.Add(1) > vn.m.pageCap {
+		// Pin the fresh page so the scan cannot evict it before the
+		// caller overwrites it and marks it dirty.
+		pg.node.Pin()
 		vn.evictCleanLocked()
+		pg.node.Unpin()
 	}
 	return pg
 }
@@ -381,20 +385,24 @@ func (vn *vnode) truncateLocked(t *Task, size int64) error {
 		return fsapi.ErrInvalid
 	}
 	firstDead := (size + fsapi.PageSize - 1) / fsapi.PageSize
-	for idx := range vn.pages {
+	var doomed []int64
+	vn.pc.ForEach(func(idx int64, _ *page) bool {
 		if idx >= firstDead {
-			delete(vn.pages, idx)
-			vn.m.totalPages.Add(-1)
-			if _, d := vn.dirty[idx]; d {
-				delete(vn.dirty, idx)
-				vn.m.dirtyPages.Add(-1)
-			}
+			doomed = append(doomed, idx)
+		}
+		return true
+	})
+	for _, idx := range doomed {
+		_, wasDirty, _ := vn.pc.Remove(idx)
+		vn.m.totalPages.Add(-1)
+		if wasDirty {
+			vn.m.dirtyPages.Add(-1)
 		}
 	}
 	// Zero the cached tail of a now-partial page so stale bytes cannot
 	// reappear if the file is re-extended.
 	if size%fsapi.PageSize != 0 {
-		if pg, ok := vn.pages[size/fsapi.PageSize]; ok {
+		if pg, ok := vn.pc.Peek(size / fsapi.PageSize); ok {
 			clear(pg.data[size%fsapi.PageSize:])
 		}
 	}

@@ -1,0 +1,67 @@
+package lru
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// FillState is the publish-locked miss-fill protocol shared by the
+// kernel and userspace buffer caches. A cache entry whose contents come
+// from a device read is published to the cache *before* the read (so
+// concurrent getters of the same key find one entry, not two), but
+// locked and unfilled; the creator fills it and then resolves the fill.
+// Getters that hit a mid-fill entry block in AwaitFill until the fill
+// resolves, instead of observing zeroed contents — and observe the
+// device error if the fill failed.
+//
+// The embedded mutex doubles as the entry's content lock (xv6's sleep
+// lock): Lock/Unlock are exported for callers that lock entries while
+// reading or mutating their contents.
+//
+// Protocol: the GetOrInsert mk callback calls BeginFill on the new
+// entry; the creator then calls exactly one of CompleteFill (contents
+// valid) or FailFill (after Dropping the entry from the cache). Hitters
+// call AwaitFill before first use and release their reference if it
+// returns an error.
+type FillState struct {
+	mu     sync.Mutex
+	filled atomic.Bool
+	err    error // set under mu by FailFill, read under mu by AwaitFill
+}
+
+// Lock takes the entry's content lock.
+func (f *FillState) Lock() { f.mu.Lock() }
+
+// Unlock drops the entry's content lock.
+func (f *FillState) Unlock() { f.mu.Unlock() }
+
+// BeginFill locks the entry before publication so hitters wait for the
+// fill. Call from the GetOrInsert mk callback.
+func (f *FillState) BeginFill() { f.mu.Lock() }
+
+// CompleteFill marks the contents valid and unlocks the entry.
+func (f *FillState) CompleteFill() {
+	f.filled.Store(true)
+	f.mu.Unlock()
+}
+
+// FailFill records the fill error and unlocks the entry, waking any
+// hitters. The creator must Drop the entry from the cache first, so no
+// later getter can hit the poisoned entry.
+func (f *FillState) FailFill(err error) {
+	f.err = err
+	f.mu.Unlock()
+}
+
+// AwaitFill returns once the entry's contents are resolved: nil after a
+// completed fill (the common case is a single atomic load), or the fill
+// error after a failed one.
+func (f *FillState) AwaitFill() error {
+	if f.filled.Load() {
+		return nil
+	}
+	f.mu.Lock()
+	err := f.err
+	f.mu.Unlock()
+	return err
+}

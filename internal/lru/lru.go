@@ -1,0 +1,142 @@
+// Package lru is the shared block-cache infrastructure used by every
+// eviction site in the simulator: the kernel buffer cache
+// (kernel.BufferCache), the userspace FUSE block cache (fuse.UserDisk),
+// and the per-vnode page cache (kernel.Mount).
+//
+// The design mirrors real buffer caches (Linux's page LRU, bcache):
+//
+//   - Node is an intrusive doubly-linked list hook embedded in each cache
+//     entry, so touch (move-to-front) and evict (unlink the tail) are O(1)
+//     with no allocation. Per-entry policy state — reference count, dirty
+//     flag, recency stamp — lives in the Node, not behind a cache-wide
+//     mutex.
+//
+//   - Core is the unsynchronized engine: a key→entry map, the recency
+//     List (front = most recently used), and an explicit dirty set so
+//     sync paths iterate exactly the dirty entries instead of scanning
+//     the whole cache. Callers that already serialize access (the vnode
+//     page cache runs under the vnode lock) embed a Core directly and
+//     pay no extra locking.
+//
+//   - Cache wraps Core with capacity enforcement, hit/miss/eviction
+//     statistics, and optional sharding by key with per-shard locks, so
+//     32-thread workloads stop serializing on a single cache mutex. With
+//     one shard (the default for the two buffer caches) victim selection
+//     is exactly global LRU — least recently used among clean, unpinned
+//     entries — which keeps virtual-time metrics byte-identical to the
+//     historical full-scan implementation. Sharding trades that global
+//     exactness for parallelism: each shard evicts its own LRU tail.
+//
+// Eviction walks the list from the LRU tail, skipping pinned (refs > 0)
+// and dirty entries; the first clean unpinned entry is the exact LRU
+// victim. Core.EvictScan also supports second-chance (CLOCK-style)
+// eviction for callers whose readers bump recency out-of-band under a
+// shared lock (the page cache's PRead fast path): entries touched since
+// they were last positioned are rotated back to the front instead of
+// evicted.
+package lru
+
+import "sync/atomic"
+
+// Node is the intrusive hook embedded in every cache entry. It carries
+// the entry's key, its position in the recency list, and the per-entry
+// policy state (reference count, dirty flag, recency stamp).
+//
+// refs and dirty are atomics so hot-path queries (Refs, Dirty) need no
+// cache lock; mutations that must stay consistent with cache structures
+// (dirty-set membership, pin-versus-evict decisions) happen under the
+// owning shard's lock.
+type Node struct {
+	prev, next *Node
+	key        int64
+	stamp      int64 // recency value when last positioned in the list
+	refs       atomic.Int32
+	dirty      atomic.Bool
+}
+
+// Key reports the key this node was inserted under.
+func (n *Node) Key() int64 { return n.key }
+
+// Refs reports the current reference (pin) count.
+func (n *Node) Refs() int { return int(n.refs.Load()) }
+
+// Pin takes an eviction reference: a pinned entry is never a victim.
+// Callers that do not use Cache's reference counting (the page cache)
+// pin an entry to protect it across an eviction scan.
+func (n *Node) Pin() { n.refs.Add(1) }
+
+// Unpin drops an eviction reference taken with Pin.
+func (n *Node) Unpin() { n.refs.Add(-1) }
+
+// Dirty reports whether the entry has unwritten modifications.
+func (n *Node) Dirty() bool { return n.dirty.Load() }
+
+// Entry is implemented by cache entries: it exposes the embedded Node.
+type Entry interface {
+	LRUNode() *Node
+}
+
+// List is an intrusive doubly-linked recency list. The front is the most
+// recently used entry, the back the least. The zero value is ready to
+// use. All operations are O(1).
+type List struct {
+	root Node // sentinel: root.next = front (MRU), root.prev = back (LRU)
+	n    int
+}
+
+func (l *List) lazyInit() {
+	if l.root.next == nil {
+		l.root.next = &l.root
+		l.root.prev = &l.root
+	}
+}
+
+// Len reports the number of nodes in the list.
+func (l *List) Len() int { return l.n }
+
+// PushFront inserts n at the MRU end.
+func (l *List) PushFront(n *Node) {
+	l.lazyInit()
+	n.prev = &l.root
+	n.next = l.root.next
+	n.prev.next = n
+	n.next.prev = n
+	l.n++
+}
+
+// Remove unlinks n. It is a no-op for a node that is not in the list.
+func (l *List) Remove(n *Node) {
+	if n.next == nil {
+		return
+	}
+	n.prev.next = n.next
+	n.next.prev = n.prev
+	n.prev, n.next = nil, nil
+	l.n--
+}
+
+// MoveToFront makes n the MRU entry.
+func (l *List) MoveToFront(n *Node) {
+	if l.root.next == n {
+		return
+	}
+	l.Remove(n)
+	l.PushFront(n)
+}
+
+// Back returns the LRU node, or nil if the list is empty.
+func (l *List) Back() *Node {
+	if l.n == 0 {
+		return nil
+	}
+	return l.root.prev
+}
+
+// olderToNewer returns the node in front of n (more recently used), or
+// nil when n is the front. Used by eviction walks starting at Back.
+func (l *List) olderToNewer(n *Node) *Node {
+	if n.prev == &l.root {
+		return nil
+	}
+	return n.prev
+}
