@@ -123,6 +123,22 @@ func BenchmarkTable5Delete(b *testing.B) {
 	}
 }
 
+// BenchmarkStream runs the streaming scenario (cold sequential
+// read/write pass, MBps) across all four variants — the workload where
+// the in-kernel variants' read-ahead and background flusher show up and
+// the FUSE baseline, which has neither, does not.
+func BenchmarkStream(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, data, err := harness.Stream(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportCells(b, data, harness.AllVariants, "mbps")
+		}
+	}
+}
+
 // BenchmarkTable6Macro regenerates Table 6 (varmail, fileserver, untar)
 // across all four variants including ext4.
 func BenchmarkTable6Macro(b *testing.B) {

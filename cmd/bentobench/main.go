@@ -6,9 +6,13 @@
 //	bentobench -exp fig4        # one experiment
 //	bentobench -quick           # reduced scale (seconds, not minutes)
 //	bentobench -dur 200ms       # override the virtual measurement window
+//	bentobench -json            # machine-readable cells on stdout (tables go to stderr)
+//	bentobench -shards 8        # add the sharded-buffer-cache Bento row
+//	bentobench -noiod           # disable background I/O (read-ahead + flusher)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +26,9 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id: "+strings.Join(harness.AllExperiments, ", ")+", or all")
 	quick := flag.Bool("quick", false, "reduced scale for fast runs")
 	dur := flag.Duration("dur", 0, "virtual measurement window per workload (0 = default)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable results (one JSON array) on stdout; tables move to stderr")
+	shards := flag.Int("shards", 0, "buffer-cache shards for the Bento-shard study row (>1 to enable)")
+	noiod := flag.Bool("noiod", false, "disable the background I/O subsystem on the in-kernel variants")
 	flag.Parse()
 
 	o := harness.Defaults()
@@ -31,18 +38,35 @@ func main() {
 	if *dur > 0 {
 		o.Duration = *dur
 	}
+	o.CacheShards = *shards
+	o.NoIODaemon = *noiod
+
+	tables := os.Stdout
+	if *jsonOut {
+		tables = os.Stderr
+	}
 
 	ids := harness.AllExperiments
 	if *exp != "all" {
 		ids = []string{*exp}
 	}
+	records := []harness.Record{} // non-nil: -json always prints an array
 	for _, id := range ids {
 		start := time.Now()
-		out, err := harness.Run(id, o)
+		out, recs, err := harness.RunRecords(id, o)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bentobench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
-		fmt.Printf("== %s (host time %v) ==\n%s\n", id, time.Since(start).Round(time.Millisecond), out)
+		records = append(records, recs...)
+		fmt.Fprintf(tables, "== %s (host time %v) ==\n%s\n", id, time.Since(start).Round(time.Millisecond), out)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(records); err != nil {
+			fmt.Fprintf(os.Stderr, "bentobench: encoding json: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

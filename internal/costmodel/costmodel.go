@@ -97,6 +97,20 @@ type Model struct {
 	// WritepagesCall is the per-call overhead of Bento's batched
 	// ->writepages writeback (amortized across the batch).
 	WritepagesCall time.Duration
+
+	// --- Background I/O (internal/iodaemon) ---
+
+	// ReadaheadUpdate is the per-read cost of the sequential-access
+	// detector: checking the request against the per-file window and
+	// advancing it (the ondemand_readahead bookkeeping).
+	ReadaheadUpdate time.Duration
+	// AsyncFillPage is the per-page CPU cost the read-ahead worker pays
+	// to allocate a page and queue its asynchronous device fill.
+	AsyncFillPage time.Duration
+	// FlusherWakeup is the cost of waking the background write-back
+	// flusher: the dirtier queues work and the flusher thread picks it up
+	// (one scheduler round trip, charged to each side).
+	FlusherWakeup time.Duration
 }
 
 // Default returns the calibrated model used for all experiments.
@@ -129,6 +143,10 @@ func Default() *Model {
 
 		WritepageCall:  1800 * time.Nanosecond,
 		WritepagesCall: 2600 * time.Nanosecond,
+
+		ReadaheadUpdate: 120 * time.Nanosecond,
+		AsyncFillPage:   350 * time.Nanosecond,
+		FlusherWakeup:   2 * time.Microsecond,
 	}
 }
 
@@ -164,6 +182,10 @@ func Fast() *Model {
 
 		WritepageCall:  1 * time.Nanosecond,
 		WritepagesCall: 1 * time.Nanosecond,
+
+		ReadaheadUpdate: 1 * time.Nanosecond,
+		AsyncFillPage:   1 * time.Nanosecond,
+		FlusherWakeup:   1 * time.Nanosecond,
 	}
 }
 

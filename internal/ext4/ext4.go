@@ -48,6 +48,9 @@ type Config struct {
 	// NoBarriers drops the FLUSH in commits (like mounting with
 	// barrier=0); benchmarks comparing pure software paths may set it.
 	NoBarriers bool
+	// CacheShards splits the buffer cache over this many shards (<=1: a
+	// single exact-LRU shard; see kernel.NewBufferCacheSharded).
+	CacheShards int
 }
 
 // Name implements kernel.FileSystemType.
@@ -163,7 +166,7 @@ func geometry(size, ninodes uint32) (superblock, error) {
 func (tt Type) Mount(t *kernel.Task, dev *blockdev.Device) (kernel.FileSystem, error) {
 	fs := &FS{
 		cfg:    tt.Cfg,
-		bc:     kernel.NewBufferCache(dev, t.Model(), 8192),
+		bc:     kernel.NewBufferCacheSharded(dev, t.Model(), 8192, max(1, tt.Cfg.CacheShards)),
 		dev:    dev,
 		inodes: make(map[uint32]*inode),
 		dirIdx: make(map[uint32]map[string]uint32),

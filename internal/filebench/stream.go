@@ -1,0 +1,122 @@
+package filebench
+
+import (
+	"fmt"
+	"time"
+
+	"bento/internal/fsapi"
+	"bento/internal/kernel"
+)
+
+// StreamConfig parameterizes the streaming scenario: one cold
+// end-to-end sequential pass over a large per-thread file, the workload
+// where the kernel's background I/O machinery (read-ahead, background
+// write-back) pays off and a FUSE file system has neither. Unlike the
+// timed microbenchmarks, a stream runs to completion and the figure of
+// merit is the virtual time the pass took.
+type StreamConfig struct {
+	Threads  int
+	IOSize   int   // bytes per read/write call (default 128 KiB)
+	FileSize int64 // bytes streamed per thread (default 32 MiB)
+}
+
+func (c *StreamConfig) defaults() {
+	if c.Threads <= 0 {
+		c.Threads = 1
+	}
+	if c.IOSize <= 0 {
+		c.IOSize = 128 << 10
+	}
+	if c.FileSize <= 0 {
+		c.FileSize = 32 << 20
+	}
+}
+
+// streamDeadline bounds a stream pass in virtual time; streams run to
+// completion, so this only guards against a runaway workload.
+const streamDeadline = 24 * time.Hour
+
+// StreamRead measures a cold sequential read: per-thread files are
+// written and synced, every clean page is dropped (so the pass reads
+// the device, not the cache), and each thread then streams its file
+// start to finish in IOSize chunks.
+func StreamRead(tg Target, cfg StreamConfig) (Result, error) {
+	cfg.defaults()
+	setup := tg.K.NewTask("setup")
+	for w := 0; w < cfg.Threads; w++ {
+		if err := prepareFile(tg, setup, fmt.Sprintf("/stream%d", w), cfg.FileSize); err != nil {
+			return Result{}, err
+		}
+	}
+	if err := tg.M.Sync(setup); err != nil {
+		return Result{}, err
+	}
+	tg.M.DropCaches()
+
+	name := fmt.Sprintf("stream-read-%dt-%dk", cfg.Threads, cfg.IOSize/1024)
+	res := runWorkers(tg, name, cfg.Threads, setup.Clk.Now(), streamDeadline,
+		func(w int, task *kernel.Task, deadline int64, pace func()) (int64, int64, error) {
+			f, err := tg.M.Open(task, fmt.Sprintf("/stream%d", w), fsapi.ORdonly)
+			if err != nil {
+				return 0, 0, err
+			}
+			defer tg.M.Close(task, f)
+			buf := make([]byte, cfg.IOSize)
+			var ops, bytes int64
+			for bytes < cfg.FileSize && task.Clk.NowNS() < deadline {
+				pace()
+				task.Charge(task.Model().AppOpOverhead)
+				n, err := f.PRead(task, buf, bytes)
+				if err != nil {
+					return ops, bytes, err
+				}
+				if n == 0 {
+					break
+				}
+				ops++
+				bytes += int64(n)
+			}
+			return ops, bytes, nil
+		})
+	return res, nil
+}
+
+// StreamWrite measures a sustained sequential write: each thread
+// creates a fresh file, streams IOSize chunks to FileSize, and fsyncs
+// once at the end — the untar/backup-ingest shape. With a background
+// flusher the writer overlaps dirtying with write-back; without one it
+// stalls on its own dirty budget.
+func StreamWrite(tg Target, cfg StreamConfig) (Result, error) {
+	cfg.defaults()
+	setup := tg.K.NewTask("setup")
+
+	name := fmt.Sprintf("stream-write-%dt-%dk", cfg.Threads, cfg.IOSize/1024)
+	res := runWorkers(tg, name, cfg.Threads, setup.Clk.Now(), streamDeadline,
+		func(w int, task *kernel.Task, deadline int64, pace func()) (int64, int64, error) {
+			f, err := tg.M.Open(task, fmt.Sprintf("/wstream%d", w), fsapi.OCreate|fsapi.OWronly|fsapi.OTrunc)
+			if err != nil {
+				return 0, 0, err
+			}
+			defer tg.M.Close(task, f)
+			buf := make([]byte, cfg.IOSize)
+			for i := range buf {
+				buf[i] = byte(w + i*7)
+			}
+			var ops, bytes int64
+			for bytes < cfg.FileSize && task.Clk.NowNS() < deadline {
+				pace()
+				task.Charge(task.Model().AppOpOverhead)
+				n, err := f.PWrite(task, buf, bytes)
+				if err != nil {
+					return ops, bytes, err
+				}
+				ops++
+				bytes += int64(n)
+			}
+			if err := f.FSync(task); err != nil {
+				return ops, bytes, err
+			}
+			return ops, bytes, nil
+		})
+	return res, nil
+}

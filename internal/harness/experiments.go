@@ -17,10 +17,16 @@ const (
 	ExpTable4 = "table4"
 	ExpTable5 = "table5"
 	ExpTable6 = "table6"
+	// ExpStream is this reproduction's streaming scenario (not a paper
+	// artifact): one cold end-to-end sequential pass, where the kernel's
+	// read-ahead and background flusher — which the FUSE baseline lacks
+	// — set the pace.
+	ExpStream = "stream"
 )
 
-// AllExperiments lists every reproducible artifact in paper order.
-var AllExperiments = []string{ExpTable1, ExpTable2, ExpFig2, ExpFig3, ExpFig4, ExpTable4, ExpTable5, ExpTable6}
+// AllExperiments lists every reproducible artifact in paper order, plus
+// the streaming scenario.
+var AllExperiments = []string{ExpTable1, ExpTable2, ExpFig2, ExpFig3, ExpFig4, ExpTable4, ExpTable5, ExpTable6, ExpStream}
 
 // workingSet sizes each thread's file so the full set fits the device
 // with room for metadata and the log (the paper's read files are small:
@@ -52,8 +58,9 @@ func readCell(variant string, o Options, threads, ioSize int, random bool) (file
 // Fig2 regenerates Figure 2: 4KB reads, ops/sec, seq/rnd × 1/32 threads.
 func Fig2(o Options) (string, map[string][]filebench.Result, error) {
 	cols := []string{"seq-1t", "seq-32t", "rnd-1t", "rnd-32t"}
+	vars := microVariants(o)
 	data := make(map[string][]filebench.Result)
-	for _, v := range XV6Variants {
+	for _, v := range vars {
 		for _, c := range []struct {
 			threads int
 			random  bool
@@ -65,9 +72,9 @@ func Fig2(o Options) (string, map[string][]filebench.Result, error) {
 			data[v] = append(data[v], r)
 		}
 	}
-	out := Table("Figure 2: Read performance (4KB), ops/sec (x1000)", cols, XV6Variants,
+	out := Table("Figure 2: Read performance (4KB), ops/sec (x1000)", cols, vars,
 		func(r, c int) string {
-			return fmt.Sprintf("%.0f", data[XV6Variants[r]][c].OpsPerSec()/1000)
+			return fmt.Sprintf("%.0f", data[vars[r]][c].OpsPerSec()/1000)
 		})
 	return out, data, nil
 }
@@ -80,6 +87,7 @@ func Fig3(o Options) (string, map[string][]filebench.Result, error) {
 		random  bool
 		label   string
 	}{{1, false, "seq-1t"}, {32, false, "seq-32t"}, {1, true, "rnd-1t"}, {32, true, "rnd-32t"}}
+	vars := microVariants(o)
 	data := make(map[string][]filebench.Result)
 	var b strings.Builder
 	for _, size := range sizes {
@@ -88,7 +96,7 @@ func Fig3(o Options) (string, map[string][]filebench.Result, error) {
 			cols[i] = c.label
 		}
 		sub := make(map[string][]filebench.Result)
-		for _, v := range XV6Variants {
+		for _, v := range vars {
 			for _, c := range cells {
 				r, err := readCell(v, o, c.threads, size, c.random)
 				if err != nil {
@@ -99,8 +107,8 @@ func Fig3(o Options) (string, map[string][]filebench.Result, error) {
 			}
 		}
 		b.WriteString(Table(fmt.Sprintf("Figure 3: Read performance (%dKB), MBps", size/1024),
-			cols, XV6Variants, func(r, c int) string {
-				return fmt.Sprintf("%.0f", sub[XV6Variants[r]][c].MBps())
+			cols, vars, func(r, c int) string {
+				return fmt.Sprintf("%.0f", sub[vars[r]][c].MBps())
 			}))
 		b.WriteByte('\n')
 	}
@@ -116,6 +124,7 @@ func Fig4(o Options) (string, map[string][]filebench.Result, error) {
 		random  bool
 		label   string
 	}{{1, false, "seq-1t"}, {1, true, "rnd-1t"}, {32, true, "rnd-32t"}}
+	vars := microVariants(o)
 	data := make(map[string][]filebench.Result)
 	var b strings.Builder
 	for _, size := range sizes {
@@ -124,7 +133,7 @@ func Fig4(o Options) (string, map[string][]filebench.Result, error) {
 			cols[i] = c.label
 		}
 		sub := make(map[string][]filebench.Result)
-		for _, v := range XV6Variants {
+		for _, v := range vars {
 			for _, c := range cells {
 				tg, err := NewTarget(v, o)
 				if err != nil {
@@ -146,8 +155,8 @@ func Fig4(o Options) (string, map[string][]filebench.Result, error) {
 			}
 		}
 		b.WriteString(Table(fmt.Sprintf("Figure 4: Write performance (%dKB), MBps", size/1024),
-			cols, XV6Variants, func(r, c int) string {
-				return fmt.Sprintf("%.0f", sub[XV6Variants[r]][c].MBps())
+			cols, vars, func(r, c int) string {
+				return fmt.Sprintf("%.0f", sub[vars[r]][c].MBps())
 			}))
 		b.WriteByte('\n')
 	}
@@ -158,8 +167,9 @@ func Fig4(o Options) (string, map[string][]filebench.Result, error) {
 // threads).
 func Table4(o Options) (string, map[string][]filebench.Result, error) {
 	cols := []string{"1 Thread", "32 Threads"}
+	vars := microVariants(o)
 	data := make(map[string][]filebench.Result)
-	for _, v := range XV6Variants {
+	for _, v := range vars {
 		for _, threads := range []int{1, 32} {
 			tg, err := NewTarget(v, o)
 			if err != nil {
@@ -174,16 +184,17 @@ func Table4(o Options) (string, map[string][]filebench.Result, error) {
 			data[v] = append(data[v], r)
 		}
 	}
-	out := Table("Table 4: Create microbenchmark performance (ops/sec)", cols, XV6Variants,
-		func(r, c int) string { return fmt.Sprintf("%.0f", data[XV6Variants[r]][c].OpsPerSec()) })
+	out := Table("Table 4: Create microbenchmark performance (ops/sec)", cols, vars,
+		func(r, c int) string { return fmt.Sprintf("%.0f", data[vars[r]][c].OpsPerSec()) })
 	return out, data, nil
 }
 
 // Table5 regenerates the delete microbenchmark.
 func Table5(o Options) (string, map[string][]filebench.Result, error) {
 	cols := []string{"1 Thread", "32 Threads"}
+	vars := microVariants(o)
 	data := make(map[string][]filebench.Result)
-	for _, v := range XV6Variants {
+	for _, v := range vars {
 		for _, threads := range []int{1, 32} {
 			tg, err := NewTarget(v, o)
 			if err != nil {
@@ -205,8 +216,8 @@ func Table5(o Options) (string, map[string][]filebench.Result, error) {
 			data[v] = append(data[v], r)
 		}
 	}
-	out := Table("Table 5: Delete microbenchmark performance (ops/sec)", cols, XV6Variants,
-		func(r, c int) string { return fmt.Sprintf("%.0f", data[XV6Variants[r]][c].OpsPerSec()) })
+	out := Table("Table 5: Delete microbenchmark performance (ops/sec)", cols, vars,
+		func(r, c int) string { return fmt.Sprintf("%.0f", data[vars[r]][c].OpsPerSec()) })
 	return out, data, nil
 }
 
@@ -264,31 +275,51 @@ func Table6(o Options) (string, map[string][]filebench.Result, error) {
 	return out, data, nil
 }
 
+// Stream runs the streaming scenario: a cold sequential read pass and a
+// sustained sequential write (fsync at the end) per variant, reported
+// in MBps. A tight dirty budget keeps the write stream feeding the
+// flusher (or, for FUSE, stalling on its own write-back) instead of
+// ending as one giant cached burst.
+func Stream(o Options) (string, map[string][]filebench.Result, error) {
+	vars := streamVariants(o)
+	cols := []string{"read (MB/s)", "write (MB/s)"}
+	fileSize := int64(o.StreamMB) << 20
+	if fileSize <= 0 {
+		fileSize = 32 << 20
+	}
+	if budget := int64(o.DevBlocks) * 4096 / 4; fileSize > budget {
+		fileSize = budget // leave room for metadata, the log, and slack
+	}
+	data := make(map[string][]filebench.Result)
+	for _, v := range vars {
+		tg, err := NewTarget(v, o)
+		if err != nil {
+			return "", nil, err
+		}
+		rd, err := filebench.StreamRead(tg, filebench.StreamConfig{Threads: 1, FileSize: fileSize})
+		if err != nil {
+			return "", nil, fmt.Errorf("stream read %s: %w", v, err)
+		}
+		tg, err = NewTarget(v, o)
+		if err != nil {
+			return "", nil, err
+		}
+		tg.M.SetDirtyLimit(512)
+		wr, err := filebench.StreamWrite(tg, filebench.StreamConfig{Threads: 1, FileSize: fileSize})
+		if err != nil {
+			return "", nil, fmt.Errorf("stream write %s: %w", v, err)
+		}
+		data[v] = []filebench.Result{rd, wr}
+	}
+	out := Table(fmt.Sprintf("Streaming scenario (%d MiB cold sequential pass), MBps", fileSize>>20),
+		cols, vars, func(r, c int) string {
+			return fmt.Sprintf("%.0f", data[vars[r]][c].MBps())
+		})
+	return out, data, nil
+}
+
 // Run executes one experiment by id and returns its rendered output.
 func Run(id string, o Options) (string, error) {
-	switch id {
-	case ExpTable1:
-		return Table1Text(), nil
-	case ExpTable2:
-		return Table2Text(), nil
-	case ExpFig2:
-		s, _, err := Fig2(o)
-		return s, err
-	case ExpFig3:
-		s, _, err := Fig3(o)
-		return s, err
-	case ExpFig4:
-		s, _, err := Fig4(o)
-		return s, err
-	case ExpTable4:
-		s, _, err := Table4(o)
-		return s, err
-	case ExpTable5:
-		s, _, err := Table5(o)
-		return s, err
-	case ExpTable6:
-		s, _, err := Table6(o)
-		return s, err
-	}
-	return "", fmt.Errorf("harness: unknown experiment %q (have %v)", id, AllExperiments)
+	s, _, err := RunRecords(id, o)
+	return s, err
 }

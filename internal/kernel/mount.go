@@ -2,14 +2,18 @@ package kernel
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"bento/internal/blockdev"
 	"bento/internal/costmodel"
 	"bento/internal/fsapi"
+	"bento/internal/iodaemon"
 	"bento/internal/lru"
+	"bento/internal/vclock"
 )
 
 // DefaultDirtyLimitPages is the per-mount dirty page budget (8 MiB). A
@@ -44,6 +48,12 @@ type Mount struct {
 	pageCap    int64
 
 	seq atomic.Int64 // LRU tick for page eviction
+
+	// iod is the background I/O subsystem (read-ahead + write-back
+	// flusher); nil until EnableIODaemon, and set before the mount sees
+	// traffic. The FUSE baseline never enables it — that asymmetry is
+	// the paper's point.
+	iod *iodaemon.Daemon[*Task]
 }
 
 type dkey struct {
@@ -65,15 +75,34 @@ type vnode struct {
 	opens    int
 	unlinked bool // nlink hit zero; discard on last close
 	pc       lru.Core[*page]
+	ra       iodaemon.Window // read-ahead state (used only when m.iod != nil)
 }
 
 // page is one cached 4K page. Readers bump lastUse under the shared
 // vnode lock (the PRead fast path), so recency reaches the LRU list
 // lazily: eviction runs a second-chance scan that rotates
 // touched-since-positioned pages back to the front.
+//
+// Pages filled by read-ahead carry readyAt, the virtual time their
+// asynchronous device read completes; a reader that catches up with the
+// pipeline waits until then. Demand-filled pages leave it zero: their
+// device wait was paid synchronously. readyAt is written only while the
+// page is being created under the exclusive vnode lock, so the
+// shared-lock read path may load it plainly.
+//
+// Read-ahead fills also run the lru.FillState publish-locked protocol
+// (BeginFill before publication, CompleteFill/drop+FailFill after), the
+// same discipline as the buffer caches. Under the current locking it is
+// belt-and-braces: a fill resolves before vn.mu is released, so no
+// reader can observe a mid-fill page and none calls AwaitFill. The
+// protocol's load-bearing half here is the error path — a failed fill
+// is dropped from the cache before FailFill, so a poisoned page is
+// never reachable.
 type page struct {
 	node    lru.Node
+	fill    lru.FillState
 	data    []byte
+	readyAt int64
 	lastUse atomic.Int64
 }
 
@@ -122,6 +151,26 @@ func (m *Mount) SetPageCacheCap(pages int64) {
 	}
 }
 
+// EnableIODaemon starts the background I/O subsystem for this mount:
+// per-file sequential read-ahead into the page cache and a cross-vnode
+// background write-back flusher, both simulated tasks in virtual time.
+// Call it once, after Mount and before the mount sees traffic. The
+// zero Config selects Linux-shaped defaults.
+func (m *Mount) EnableIODaemon(cfg iodaemon.Config) *iodaemon.Daemon[*Task] {
+	m.iod = iodaemon.New(cfg,
+		m.k.NewTask("kworker-readahead:"+m.mountPoint),
+		m.k.NewTask("kworker-flush:"+m.mountPoint),
+		func(at int64) *Task {
+			return m.k.NewTaskWithClock("kworker-fill:"+m.mountPoint,
+				vclock.NewClockAt(time.Duration(at)))
+		})
+	return m.iod
+}
+
+// IODaemon reports the mount's background I/O subsystem (nil when
+// disabled).
+func (m *Mount) IODaemon() *iodaemon.Daemon[*Task] { return m.iod }
+
 // SwapFS atomically replaces the file-system operations vector. Only the
 // online-upgrade machinery in internal/core calls this, with all
 // in-flight operations quiesced.
@@ -145,6 +194,9 @@ func (m *Mount) DropCaches() {
 	for _, vn := range vns {
 		vn.mu.Lock()
 		dropped := vn.pc.DropClean()
+		// The ahead marker points at pages that just vanished; collapse
+		// the window so the next stream re-ramps over real misses.
+		vn.ra.Reset()
 		vn.mu.Unlock()
 		m.totalPages.Add(-int64(dropped))
 	}
@@ -311,6 +363,11 @@ func (m *Mount) ResolveParent(t *Task, path string) (fsapi.Ino, string, error) {
 func (vn *vnode) loadPage(t *Task, idx int64) (*page, error) {
 	if pg, ok := vn.pc.Peek(idx); ok {
 		pg.lastUse.Store(vn.m.seq.Add(1))
+		if r := pg.readyAt; r != 0 {
+			// Read-ahead filled this page; its contents exist only once
+			// the asynchronous device read completes.
+			t.Clk.AdvanceTo(r)
+		}
 		return pg, nil
 	}
 	pg := &page{data: make([]byte, fsapi.PageSize)}
@@ -361,14 +418,18 @@ func (vn *vnode) markDirty(idx int64) (overLimit bool) {
 func (vn *vnode) writeback(t *Task) error {
 	vn.mu.Lock()
 	defer vn.mu.Unlock()
-	return vn.writebackLocked(t)
+	_, _, err := vn.writebackLocked(t)
+	return err
 }
 
-func (vn *vnode) writebackLocked(t *Task) error {
+// writebackLocked drains vn's dirty set and reports how many write-back
+// calls and pages it issued (the flusher's batching statistics). Caller
+// holds vn.mu.
+func (vn *vnode) writebackLocked(t *Task) (calls, pages int, err error) {
 	if vn.pc.DirtyLen() == 0 {
-		return nil
+		return 0, 0, nil
 	}
-	idxs := vn.pc.DirtyKeys() // ascending
+	runs := iodaemon.Runs(vn.pc.DirtyKeys()) // ascending, coalesced
 
 	bw, batched := vn.m.fs.(BatchWriter)
 	model := vn.m.model
@@ -377,45 +438,38 @@ func (vn *vnode) writebackLocked(t *Task) error {
 		pg, _ := vn.pc.Peek(idx)
 		return pg.data
 	}
-	if batched {
-		// Group consecutive page indexes into runs.
-		for i := 0; i < len(idxs); {
-			j := i + 1
-			for j < len(idxs) && idxs[j] == idxs[j-1]+1 {
-				j++
-			}
-			run := make([][]byte, 0, j-i)
-			for _, idx := range idxs[i:j] {
-				run = append(run, pageData(idx))
+	for _, run := range runs {
+		if batched {
+			batch := make([][]byte, 0, run.Count)
+			for i := 0; i < run.Count; i++ {
+				batch = append(batch, pageData(run.Start+int64(i)))
 			}
 			t.Charge(model.WritepagesCall)
-			if err := bw.WritePages(t, vn.ino, idxs[i], run, vn.size); err != nil {
-				return err
+			if err := bw.WritePages(t, vn.ino, run.Start, batch, vn.size); err != nil {
+				return calls, pages, err
 			}
-			i = j
+			calls++
+			pages += run.Count
+			continue
 		}
-	} else {
-		for _, idx := range idxs {
+		for i := 0; i < run.Count; i++ {
+			idx := run.Start + int64(i)
 			t.Charge(model.WritepageCall)
 			if err := vn.m.fs.WritePage(t, vn.ino, idx, pageData(idx), vn.size); err != nil {
-				return err
+				return calls, pages, err
 			}
+			calls++
+			pages++
 		}
 	}
 	cleaned := vn.pc.ClearAllDirty()
 	vn.m.dirtyPages.Add(-int64(cleaned))
-	return nil
+	return calls, pages, nil
 }
 
 // writebackAll flushes every vnode's dirty pages (sync path).
 func (m *Mount) writebackAll(t *Task) error {
-	m.mu.Lock()
-	vns := make([]*vnode, 0, len(m.vnodes))
-	for _, vn := range m.vnodes {
-		vns = append(vns, vn)
-	}
-	m.mu.Unlock()
-	for _, vn := range vns {
+	for _, vn := range m.vnodesByIno() {
 		if err := vn.writeback(t); err != nil {
 			return err
 		}
@@ -423,8 +477,159 @@ func (m *Mount) writebackAll(t *Task) error {
 	return nil
 }
 
-// shutdown syncs everything and unmounts.
+// vnodesByIno snapshots the vnode table in ascending inode order, so
+// cross-vnode passes (sync, the background flusher) visit files
+// deterministically.
+func (m *Mount) vnodesByIno() []*vnode {
+	m.mu.Lock()
+	vns := make([]*vnode, 0, len(m.vnodes))
+	for _, vn := range m.vnodes {
+		vns = append(vns, vn)
+	}
+	m.mu.Unlock()
+	sort.Slice(vns, func(i, j int) bool { return vns[i].ino < vns[j].ino })
+	return vns
+}
+
+// bdiFlush is one background flusher pass (the per-BDI flusher-thread
+// analogue): drain every vnode's dirty set in ascending inode order,
+// coalescing contiguous dirty pages into batched ->writepages calls.
+// It runs on the flusher's task, never an application's. Called with no
+// locks held.
+func (m *Mount) bdiFlush(ft *Task) (calls, pages int, err error) {
+	for _, vn := range m.vnodesByIno() {
+		vn.mu.Lock()
+		c, p, ferr := vn.writebackLocked(ft)
+		vn.mu.Unlock()
+		calls += c
+		pages += p
+		if ferr != nil {
+			return calls, pages, ferr
+		}
+	}
+	return calls, pages, nil
+}
+
+// balanceDirty is the write path's dirty-budget policy when the
+// background flusher is running (the balance_dirty_pages analogue).
+// Crossing the background threshold wakes the flusher, which cleans on
+// its own clock; the writer pays only the wakeup. A writer that queued
+// work on a flusher still busy in the virtual future — or that blew
+// through the hard limit outright — is throttled: writer and flusher
+// double-buffer, so sustained write throughput converges on the slower
+// of application CPU and device write-back without stalling the
+// pipeline. Called with no locks held.
+func (m *Mount) balanceDirty(t *Task) error {
+	d := m.iod
+	dirty := m.dirtyPages.Load()
+	if dirty <= d.BackgroundThreshold(m.dirtyLimit) {
+		return nil
+	}
+	t.Charge(m.model.FlusherWakeup)
+	over := dirty > m.dirtyLimit
+	prev := d.FlusherNow()
+	done, err := d.Flush(t.Clk.NowNS(), m.bdiFlush)
+	if err != nil {
+		return err
+	}
+	switch {
+	case over:
+		d.NoteThrottle()
+		t.Clk.AdvanceTo(done)
+	case prev > t.Clk.NowNS():
+		d.NoteThrottle()
+		t.Clk.AdvanceTo(prev)
+	}
+	return nil
+}
+
+// readAhead advises the read-ahead state machine about a demand read
+// covering pages [first, last] and schedules asynchronous fills for the
+// window it opens. Only called when m.iod != nil; takes vn.mu.
+func (vn *vnode) readAhead(t *Task, first, last int64) {
+	m := vn.m
+	d := m.iod
+	cfg := d.Config()
+	vn.mu.Lock()
+	defer vn.mu.Unlock()
+	t.Charge(m.model.ReadaheadUpdate)
+	start, count := vn.ra.Access(first, last, cfg.InitWindow, cfg.MaxWindow)
+	if count == 0 || vn.size == 0 {
+		return
+	}
+	// Clamp the window to EOF.
+	lastPg := (vn.size - 1) / fsapi.PageSize
+	if start > lastPg {
+		return
+	}
+	if start+count-1 > lastPg {
+		count = lastPg - start + 1
+	}
+	// A fully resident window (warm cache) never wakes the daemon, so
+	// cached benchmark phases see no background clock traffic at all.
+	missing := false
+	for pg := start; pg < start+count; pg++ {
+		if _, ok := vn.pc.Peek(pg); !ok {
+			missing = true
+			break
+		}
+	}
+	if !missing {
+		return
+	}
+	err := d.FillAhead(t.Clk.NowNS(), start, count, func(rt *Task, pg int64) (bool, error) {
+		return vn.fillPageLocked(rt, pg)
+	})
+	if err != nil {
+		// A failed fill must not fail the demand read that merely
+		// triggered it; collapse the window so the stream stops running
+		// into the bad region. A demand read of the failed page will
+		// surface the error synchronously.
+		vn.ra.Reset()
+	}
+}
+
+// fillPageLocked reads page pg into the cache on the read-ahead task
+// rt, following the lru.FillState publish-locked protocol: the page is
+// published locked and unfilled, filled from the file system, then
+// resolved — and dropped before FailFill on error so no later getter
+// can hit a poisoned page. Caller holds vn.mu.
+func (vn *vnode) fillPageLocked(rt *Task, pg int64) (bool, error) {
+	if _, ok := vn.pc.Peek(pg); ok {
+		return false, nil
+	}
+	p := &page{data: make([]byte, fsapi.PageSize)}
+	p.lastUse.Store(vn.m.seq.Add(1))
+	p.fill.BeginFill()
+	vn.pc.Add(pg, p)
+	if vn.m.totalPages.Add(1) > vn.m.pageCap {
+		p.node.Pin()
+		vn.evictCleanLocked()
+		p.node.Unpin()
+	}
+	if err := vn.m.fs.ReadPage(rt, vn.ino, pg, p.data); err != nil {
+		vn.pc.Remove(pg)
+		vn.m.totalPages.Add(-1)
+		p.fill.FailFill(err)
+		return false, err
+	}
+	p.readyAt = rt.Clk.NowNS()
+	p.fill.CompleteFill()
+	return true, nil
+}
+
+// shutdown quiesces the background I/O subsystem, syncs everything, and
+// unmounts.
 func (m *Mount) shutdown(t *Task) error {
+	if m.iod != nil {
+		// Stop the daemon after a final flusher pass; the unmounting
+		// task waits for the flusher to retire.
+		done, err := m.iod.Quiesce(m.bdiFlush)
+		if err != nil {
+			return err
+		}
+		t.Clk.AdvanceTo(done)
+	}
 	if err := m.writebackAll(t); err != nil {
 		return err
 	}

@@ -197,6 +197,12 @@ func (f *File) PRead(t *Task, buf []byte, off int64) (int, error) {
 		pg, ok := vn.pc.Peek(idx)
 		if ok {
 			pg.lastUse.Store(vn.m.seq.Add(1))
+			if r := pg.readyAt; r != 0 {
+				// The page is here courtesy of read-ahead; a reader
+				// that catches up with the pipeline waits for its
+				// asynchronous device read to complete.
+				t.Clk.AdvanceTo(r)
+			}
 		} else {
 			vn.mu.RUnlock()
 			vn.mu.Lock()
@@ -221,6 +227,12 @@ func (f *File) PRead(t *Task, buf []byte, off int64) (int, error) {
 		done += n
 	}
 	vn.mu.RUnlock()
+	if m.iod != nil && done > 0 {
+		// Tell the read-ahead state machine which pages this request
+		// covered; a sequential stream schedules asynchronous fills
+		// ahead of itself.
+		vn.readAhead(t, off/fsapi.PageSize, (off+done-1)/fsapi.PageSize)
+	}
 	return int(done), nil
 }
 
@@ -295,10 +307,17 @@ func (f *File) PWrite(t *Task, data []byte, off int64) (int, error) {
 	}
 
 	var wbErr error
-	if overLimit {
-		wbErr = vn.writebackLocked(t)
+	if overLimit && m.iod == nil {
+		// No background flusher: the dirtier performs write-back of the
+		// file it is writing, the pre-flusher balance_dirty_pages shape.
+		_, _, wbErr = vn.writebackLocked(t)
 	}
 	vn.mu.Unlock()
+	if wbErr == nil && m.iod != nil {
+		// Background flusher: crossing the background threshold wakes
+		// it; the hard limit throttles the writer against it.
+		wbErr = m.balanceDirty(t)
+	}
 	if wbErr != nil {
 		return int(done), wbErr
 	}

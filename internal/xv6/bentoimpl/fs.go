@@ -27,6 +27,10 @@ const (
 type Config struct {
 	// Policy selects commit durability (see SyncPolicy).
 	Policy SyncPolicy
+	// CacheShards splits the metadata buffer cache over this many
+	// shards (<=1: a single exact-LRU shard; see
+	// kernel.NewBufferCacheSharded).
+	CacheShards int
 }
 
 // FS is the xv6 file system over the Bento file-operations API.
@@ -51,7 +55,7 @@ func New(cfg Config) *FS {
 
 // RegisterWith installs the xv6-Bento module into kernel k under name.
 func RegisterWith(k *kernel.Kernel, name string, cfg Config) error {
-	return core.Register(k, name, func() core.FileSystem { return New(cfg) })
+	return core.RegisterSharded(k, name, cfg.CacheShards, func() core.FileSystem { return New(cfg) })
 }
 
 // BentoName implements core.FileSystem.

@@ -33,6 +33,9 @@ type Config struct {
 	// FlushCommits issues device FLUSH commands around log commits
 	// (crash-safe); off by default like the benchmarked configuration.
 	FlushCommits bool
+	// CacheShards splits the buffer cache over this many shards (<=1: a
+	// single exact-LRU shard; see kernel.NewBufferCacheSharded).
+	CacheShards int
 }
 
 // Name implements kernel.FileSystemType.
@@ -47,7 +50,7 @@ func (tt Type) Name() string {
 func (tt Type) Mount(t *kernel.Task, dev *blockdev.Device) (kernel.FileSystem, error) {
 	fs := &FS{
 		cfg:    tt.Cfg,
-		bc:     kernel.NewBufferCache(dev, t.Model(), 0),
+		bc:     kernel.NewBufferCacheSharded(dev, t.Model(), 0, max(1, tt.Cfg.CacheShards)),
 		dev:    dev,
 		inodes: make(map[uint32]*inode),
 	}
