@@ -1,0 +1,109 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"bento/internal/harness"
+)
+
+func rec(exp, variant, cell string, ops int64, opsPerSec float64, bytes int64, mbps float64) harness.Record {
+	return harness.Record{
+		Experiment: exp, Variant: variant, Cell: cell,
+		Ops: ops, OpsPerSec: opsPerSec, Bytes: bytes, MBps: mbps,
+	}
+}
+
+func TestCompareCleanRunPasses(t *testing.T) {
+	base := []harness.Record{
+		rec("fig2", "Bento", "read-seq-32t-4k", 1000, 50000, 4096000, 200),
+		rec("stream", "FUSE", "stream-read-1t-128k", 320, 10, 41943040, 46),
+	}
+	rep := Compare(base, base, 0.05)
+	if rep.Failed() {
+		t.Fatalf("identical runs failed the gate: %s", rep.Text())
+	}
+	if rep.Compared != 2 || len(rep.Improvements) != 0 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+}
+
+func TestCompareFlagsRegressionBeyondTolerance(t *testing.T) {
+	base := []harness.Record{rec("fig2", "Bento", "read-seq-32t-4k", 1000, 50000, 0, 0)}
+	fresh := []harness.Record{rec("fig2", "Bento", "read-seq-32t-4k", 900, 47000, 0, 0)} // -6%
+	rep := Compare(base, fresh, 0.05)
+	if !rep.Failed() || len(rep.Regressions) != 1 {
+		t.Fatalf("6%% regression not flagged: %+v", rep)
+	}
+	if !strings.Contains(rep.Text(), "REGRESSED") {
+		t.Fatalf("report text missing REGRESSED line:\n%s", rep.Text())
+	}
+	// Within tolerance passes.
+	fresh[0].OpsPerSec = 48000 // -4%
+	if rep := Compare(base, fresh, 0.05); rep.Failed() {
+		t.Fatalf("4%% drift failed a 5%% gate: %s", rep.Text())
+	}
+}
+
+func TestCompareMissingCellFails(t *testing.T) {
+	base := []harness.Record{
+		rec("fig2", "Bento", "read-seq-32t-4k", 1000, 50000, 0, 0),
+		rec("fig2", "FUSE", "read-seq-32t-4k", 500, 25000, 0, 0),
+	}
+	rep := Compare(base, base[:1], 0.05)
+	if !rep.Failed() || len(rep.Missing) != 1 {
+		t.Fatalf("dropped cell not flagged: %+v", rep)
+	}
+}
+
+func TestCompareAddedCellPasses(t *testing.T) {
+	base := []harness.Record{rec("fig2", "Bento", "read-seq-32t-4k", 1000, 50000, 0, 0)}
+	fresh := append([]harness.Record{rec("stream", "Bento", "stream-read-4t-128k", 100, 10, 1, 400)}, base...)
+	rep := Compare(base, fresh, 0.05)
+	if rep.Failed() || len(rep.Added) != 1 {
+		t.Fatalf("new cell mishandled: %+v", rep)
+	}
+}
+
+func TestCompareUsesMBpsWhenNoOps(t *testing.T) {
+	base := []harness.Record{rec("stream", "Bento", "stream-read-1t-128k", 0, 0, 40<<20, 430)}
+	fresh := []harness.Record{rec("stream", "Bento", "stream-read-1t-128k", 0, 0, 40<<20, 200)}
+	rep := Compare(base, fresh, 0.05)
+	if !rep.Failed() {
+		t.Fatal("MB/s regression not flagged when ops are absent")
+	}
+}
+
+func TestCompareImprovementIsInformational(t *testing.T) {
+	base := []harness.Record{rec("fig2", "Bento", "read-seq-32t-4k", 1000, 50000, 0, 0)}
+	fresh := []harness.Record{rec("fig2", "Bento", "read-seq-32t-4k", 1200, 60000, 0, 0)}
+	rep := Compare(base, fresh, 0.05)
+	if rep.Failed() || len(rep.Improvements) != 1 {
+		t.Fatalf("improvement mishandled: %+v", rep)
+	}
+}
+
+func TestCompareZeroedFreshThroughputRegresses(t *testing.T) {
+	// A cell that stopped measuring anything (ops and bytes zero) must
+	// not silently pass just because the ratio is incomputable.
+	base := []harness.Record{rec("fig2", "Bento", "read-seq-32t-4k", 1000, 50000, 0, 0)}
+	fresh := []harness.Record{rec("fig2", "Bento", "read-seq-32t-4k", 0, 0, 0, 0)}
+	if rep := Compare(base, fresh, 0.05); !rep.Failed() {
+		t.Fatal("zeroed cell not flagged as regression")
+	}
+}
+
+func TestCompareSubToleranceDriftIsReported(t *testing.T) {
+	base := []harness.Record{rec("fig2", "Bento", "read-seq-32t-4k", 1000, 50000, 0, 0)}
+	fresh := []harness.Record{rec("fig2", "Bento", "read-seq-32t-4k", 990, 49000, 0, 0)} // -2%
+	rep := Compare(base, fresh, 0.05)
+	if rep.Failed() {
+		t.Fatalf("2%% drift failed a 5%% gate: %s", rep.Text())
+	}
+	if len(rep.Drifts) != 1 {
+		t.Fatalf("sub-tolerance drift not reported: %+v", rep)
+	}
+	if !strings.Contains(rep.Text(), "drifted") {
+		t.Fatalf("report text missing drift line:\n%s", rep.Text())
+	}
+}

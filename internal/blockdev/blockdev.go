@@ -12,6 +12,16 @@
 // pseudo-random subset of unflushed writes, emulating power loss with write
 // reordering; the crash-recovery tests for the xv6 log and the ext4 journal
 // are built on it.
+//
+// Determinism: queue bookings (Read/Submit/Flush) mutate the shared
+// vclock.Resource, so their completion times depend on booking order.
+// The device itself imposes no order — it books in call order. Benchmark
+// workers are serialized by the vclock scheduler (one admitted worker at
+// a time, minimal (virtual time, id) first), which fixes the call order
+// as a function of virtual time; every multi-worker cell therefore
+// replays bit-for-bit. The only internal map walk, Flush's dirty-set
+// promotion, commutes: it moves whole blocks into the durable map and
+// derives cost from the count alone.
 package blockdev
 
 import (

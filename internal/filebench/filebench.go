@@ -8,6 +8,7 @@ package filebench
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"time"
 
@@ -59,12 +60,21 @@ func (r Result) String() string {
 // so shared resources (CPU pool, device queues, journal state) warmed by
 // setup do not leak into the measurement. The run's elapsed time is the
 // furthest-ahead worker minus startAt.
+//
+// Execution is deterministic: the group's scheduler admits one worker at
+// a time, always the one with the minimal (virtual time, worker index)
+// pending event, with pace() as the scheduling point between operations.
+// Worker goroutines are merely the execution vehicle — the interleaving
+// on every shared structure (CPU pool, device queues, caches, flusher)
+// is a pure function of virtual time, so multi-thread cells replay
+// bit-for-bit across runs and hosts.
 func runWorkers(tg Target, name string, n int, startAt, duration time.Duration,
 	fn func(w int, task *kernel.Task, deadline int64, pace func()) (ops, bytes int64, err error)) Result {
 
 	group := vclock.NewGroup(startAt)
-	// Register every worker clock before any runs, so pacing sees the
-	// whole group.
+	// Register every worker clock before any runs: registration order is
+	// the scheduler's tie-break key, so the roster must be complete (and
+	// in worker-index order) before admission starts.
 	clks := make([]*vclock.Clock, n)
 	for w := 0; w < n; w++ {
 		clks[w] = group.NewWorker()
@@ -77,10 +87,31 @@ func runWorkers(tg Target, name string, n int, startAt, duration time.Duration,
 		go func(w int) {
 			defer wg.Done()
 			clk := clks[w]
-			defer group.Done(clk)
+			sw := group.Worker(clk) // resolve once; pace runs per operation
+			// Even a worker's first operation (opening its file) runs
+			// under the scheduler, so setup-order effects on shared
+			// state are fixed too. A false admission means the worker
+			// was retired while parked: it must not touch shared state.
+			if !sw.Begin() {
+				return
+			}
+			defer sw.Done()
 			task := tg.K.NewTaskWithClock(fmt.Sprintf("%s-w%d", name, w), clk)
 			deadline := clk.NowNS() + int64(duration)
-			ops, bytes, err := fn(w, task, deadline, func() { group.Pace(clk) })
+			pace := func() {
+				if !sw.Yield() {
+					// Retired while parked: run no further operations.
+					// Goexit unwinds through the workload's defers
+					// (file closes) and this goroutine's Done/WaitGroup
+					// bookkeeping — cleanup that executes outside the
+					// admission order, which is fine because retirement
+					// is cancellation: a run with retired workers has
+					// no deterministic result to protect (see
+					// vclock.Worker.Retire).
+					runtime.Goexit()
+				}
+			}
+			ops, bytes, err := fn(w, task, deadline, pace)
 			mu.Lock()
 			res.Ops += ops
 			res.Bytes += bytes

@@ -2,7 +2,6 @@ package harness
 
 import (
 	"reflect"
-	"strings"
 	"testing"
 	"time"
 
@@ -19,15 +18,37 @@ func determinismOpts() Options {
 	return o
 }
 
+// requireEqual asserts every cell — single- and multi-threaded — matches
+// between two runs of an experiment. Until the vclock scheduler, only
+// single-threaded cells could be compared: 32-thread runs interleaved on
+// the shared device queue and CPU pool in host-scheduling order. Workers
+// are now admitted in (virtual time, worker id) order, one at a time, so
+// the full matrix must replay bit-for-bit.
+func requireEqual(t *testing.T, first, second map[string][]filebench.Result) {
+	t.Helper()
+	if len(first) != len(second) {
+		t.Fatalf("variant sets differ: %d vs %d", len(first), len(second))
+	}
+	for variant, rs1 := range first {
+		rs2 := second[variant]
+		if len(rs1) != len(rs2) {
+			t.Fatalf("%s: %d results vs %d", variant, len(rs1), len(rs2))
+		}
+		for i := range rs1 {
+			if !reflect.DeepEqual(rs1[i], rs2[i]) {
+				t.Errorf("%s/%s differs between runs:\nrun1: %v\nrun2: %v",
+					variant, rs1[i].Name, rs1[i], rs2[i])
+			}
+		}
+	}
+}
+
 // TestFig2Deterministic runs the Figure 2 read experiment twice and
 // requires identical virtual-time results (ops, bytes, elapsed) for
-// every variant's single-threaded cells. The caches and the background
-// I/O daemon are host-CPU optimizations: their bookkeeping must not
-// leak host nondeterminism into the simulated clock. The 32-thread
-// cells interleave on the shared CPU pool in host-scheduling order — an
-// order-sensitivity inherited from the seed (see ROADMAP) that shows up
-// under host load — so, as in TestTable4Deterministic, only the
-// fully-ordered cells are required to be byte-identical.
+// every variant's cells, 32-thread ones included. The caches, the
+// background I/O daemon, and the worker scheduler are host-CPU
+// machinery: none of their bookkeeping may leak host nondeterminism
+// into the simulated clock.
 func TestFig2Deterministic(t *testing.T) {
 	if testing.Short() {
 		t.Skip("two full experiment runs")
@@ -40,35 +61,33 @@ func TestFig2Deterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	requireEqual1T(t, first, second)
+	requireEqual(t, first, second)
 }
 
-// requireEqual1T asserts every single-threaded cell matches between two
-// runs of an experiment.
-func requireEqual1T(t *testing.T, first, second map[string][]filebench.Result) {
-	t.Helper()
-	for variant, rs1 := range first {
-		rs2 := second[variant]
-		if len(rs1) != len(rs2) {
-			t.Fatalf("%s: %d results vs %d", variant, len(rs1), len(rs2))
-		}
-		for i := range rs1 {
-			if !strings.Contains(rs1[i].Name, "-1t") {
-				continue
-			}
-			if !reflect.DeepEqual(rs1[i], rs2[i]) {
-				t.Errorf("%s/%s differs between runs:\nrun1: %v\nrun2: %v",
-					variant, rs1[i].Name, rs1[i], rs2[i])
-			}
-		}
+// TestFig4Deterministic covers the write path's full matrix: the
+// rnd-32t cells drive 32 dirtiers against the shared flusher, dirty
+// budget, and device queues — the paths where host-order effects used
+// to hide.
+func TestFig4Deterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full experiment runs")
 	}
+	_, first, err := Fig4(determinismOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, second, err := Fig4(determinismOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqual(t, first, second)
 }
 
 // TestStreamDeterministic runs the streaming scenario twice and requires
-// byte-identical results. The stream is single-threaded, so the whole
+// byte-identical results. The single-stream cells exercise the whole
 // background pipeline — read-ahead fills, flusher passes, writer
-// throttling — must replay exactly: any host-order leak in the iodaemon
-// machinery shows up here.
+// throttling — and the multi-stream cell adds concurrent readers whose
+// read-ahead windows compete for device-queue slots under the scheduler.
 func TestStreamDeterministic(t *testing.T) {
 	if testing.Short() {
 		t.Skip("two full experiment runs")
@@ -83,17 +102,13 @@ func TestStreamDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(first, second) {
-		t.Fatalf("stream virtual-time outputs differ between runs:\nrun1: %v\nrun2: %v", first, second)
-	}
+	requireEqual(t, first, second)
 }
 
 // TestTable4Deterministic does the same for the createfiles experiment,
-// which exercises the dirty-set and write-back paths. Only the
-// single-threaded cells are compared: 32-thread runs interleave on the
-// shared device queue in host-scheduling order, which the seed harness
-// already made order-sensitive — the requirement on the cache layer is
-// that fully-ordered runs stay byte-identical.
+// which exercises the dirty-set and write-back paths; the 32-thread
+// cells interleave create+fsync traffic from every worker through the
+// shared log and device queues.
 func TestTable4Deterministic(t *testing.T) {
 	if testing.Short() {
 		t.Skip("two full experiment runs")
@@ -106,5 +121,5 @@ func TestTable4Deterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	requireEqual1T(t, first, second)
+	requireEqual(t, first, second)
 }

@@ -18,9 +18,11 @@ const (
 	ExpTable5 = "table5"
 	ExpTable6 = "table6"
 	// ExpStream is this reproduction's streaming scenario (not a paper
-	// artifact): one cold end-to-end sequential pass, where the kernel's
-	// read-ahead and background flusher — which the FUSE baseline lacks
-	// — set the pace.
+	// artifact): cold end-to-end sequential passes — single-stream,
+	// multi-stream (concurrent readers competing for read-ahead device
+	// queue slots), and a sustained write — where the kernel's
+	// read-ahead and background flusher, which the FUSE baseline lacks,
+	// set the pace.
 	ExpStream = "stream"
 )
 
@@ -275,14 +277,27 @@ func Table6(o Options) (string, map[string][]filebench.Result, error) {
 	return out, data, nil
 }
 
-// Stream runs the streaming scenario: a cold sequential read pass and a
-// sustained sequential write (fsync at the end) per variant, reported
-// in MBps. A tight dirty budget keeps the write stream feeding the
-// flusher (or, for FUSE, stalling on its own write-back) instead of
-// ending as one giant cached burst.
+// Stream runs the streaming scenario per variant, reported in MBps: a
+// cold sequential read pass, a multi-stream read pass (o.StreamThreads
+// concurrent readers over per-thread files — the same total bytes —
+// whose read-ahead windows compete for the device's queue slots), and a
+// sustained sequential write (fsync at the end). A tight dirty budget
+// keeps the write stream feeding the flusher (or, for FUSE, stalling on
+// its own write-back) instead of ending as one giant cached burst.
 func Stream(o Options) (string, map[string][]filebench.Result, error) {
 	vars := streamVariants(o)
+	streams := o.StreamThreads
+	if streams <= 0 {
+		streams = Defaults().StreamThreads // unset; an explicit value is honored
+	}
+	// One stream IS the single-stream row: running the multi-stream cell
+	// anyway would emit a second record under the same cell name, which
+	// the benchdiff join would silently collapse.
+	multi := streams > 1
 	cols := []string{"read (MB/s)", "write (MB/s)"}
+	if multi {
+		cols = []string{"read (MB/s)", fmt.Sprintf("read-%dt (MB/s)", streams), "write (MB/s)"}
+	}
 	fileSize := int64(o.StreamMB) << 20
 	if fileSize <= 0 {
 		fileSize = 32 << 20
@@ -300,6 +315,23 @@ func Stream(o Options) (string, map[string][]filebench.Result, error) {
 		if err != nil {
 			return "", nil, fmt.Errorf("stream read %s: %w", v, err)
 		}
+		cells := []filebench.Result{rd}
+		if multi {
+			// Multi-stream: the per-thread size divides the same total,
+			// so the row isolates queue competition rather than extra
+			// data.
+			tg, err = NewTarget(v, o)
+			if err != nil {
+				return "", nil, err
+			}
+			rdN, err := filebench.StreamRead(tg, filebench.StreamConfig{
+				Threads: streams, FileSize: fileSize / int64(streams),
+			})
+			if err != nil {
+				return "", nil, fmt.Errorf("stream read-%dt %s: %w", streams, v, err)
+			}
+			cells = append(cells, rdN)
+		}
 		tg, err = NewTarget(v, o)
 		if err != nil {
 			return "", nil, err
@@ -309,7 +341,7 @@ func Stream(o Options) (string, map[string][]filebench.Result, error) {
 		if err != nil {
 			return "", nil, fmt.Errorf("stream write %s: %w", v, err)
 		}
-		data[v] = []filebench.Result{rd, wr}
+		data[v] = append(cells, wr)
 	}
 	out := Table(fmt.Sprintf("Streaming scenario (%d MiB cold sequential pass), MBps", fileSize>>20),
 		cols, vars, func(r, c int) string {

@@ -51,7 +51,15 @@ type Options struct {
 	Duration   time.Duration // virtual measurement window
 	MaxOps     int64         // per-thread op cap (bounds host time)
 	MacroFiles int           // dataset scale for macro personalities
-	StreamMB   int           // per-thread stream size for the streaming scenario
+	StreamMB   int           // total stream size for the streaming scenario
+
+	// StreamThreads is the thread count of the streaming scenario's
+	// multi-stream row: that many concurrent sequential readers, each
+	// over its own file, competing for read-ahead device-queue slots.
+	// The total bytes streamed match the single-stream row (each thread
+	// reads StreamMB/StreamThreads). Default 4; 1 omits the row (one
+	// stream is the single-stream row).
+	StreamThreads int
 
 	// CacheShards > 1 adds the Bento-shard row (sharded buffer cache)
 	// to the micro experiments; the default keeps every published
@@ -64,34 +72,33 @@ type Options struct {
 	NoIODaemon bool
 }
 
+// withShardRow appends the sharded-cache study row when enabled.
+func withShardRow(base []string, o Options) []string {
+	if o.CacheShards > 1 {
+		return append(append([]string(nil), base...), VariantBentoShard)
+	}
+	return base
+}
+
 // microVariants reports the rows for the micro experiments: the paper's
 // trio plus the sharded-cache study row when enabled.
-func microVariants(o Options) []string {
-	if o.CacheShards > 1 {
-		return append(append([]string(nil), XV6Variants...), VariantBentoShard)
-	}
-	return XV6Variants
-}
+func microVariants(o Options) []string { return withShardRow(XV6Variants, o) }
 
 // streamVariants reports the rows for the streaming scenario (ext4
 // included: the stream is also a macro-style workload).
-func streamVariants(o Options) []string {
-	if o.CacheShards > 1 {
-		return append(append([]string(nil), AllVariants...), VariantBentoShard)
-	}
-	return AllVariants
-}
+func streamVariants(o Options) []string { return withShardRow(AllVariants, o) }
 
 // Defaults returns the options used for EXPERIMENTS.md.
 func Defaults() Options {
 	return Options{
-		Model:      costmodel.Default(),
-		DevBlocks:  262144, // 1 GiB
-		NInodes:    65536,
-		Duration:   400 * time.Millisecond,
-		MaxOps:     20000,
-		MacroFiles: 64,
-		StreamMB:   48,
+		Model:         costmodel.Default(),
+		DevBlocks:     262144, // 1 GiB
+		NInodes:       65536,
+		Duration:      400 * time.Millisecond,
+		MaxOps:        20000,
+		MacroFiles:    64,
+		StreamMB:      48,
+		StreamThreads: 4,
 	}
 }
 

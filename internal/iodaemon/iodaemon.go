@@ -29,8 +29,13 @@
 //
 // The host-side execution of both is synchronous and single-threaded
 // per call site (fills and flushes run inline under the caller's cache
-// locks), so single-threaded benchmark cells stay byte-identical across
-// runs; only the *virtual* clocks overlap.
+// locks), so the daemon inherits its caller's determinism; only the
+// *virtual* clocks (the forked fill clocks, the flusher's clock) overlap.
+// With benchmark workers serialized by the vclock scheduler, fill
+// batches and flusher wakeups are triggered in (virtual time, worker id)
+// order, so multi-worker cells replay bit-for-bit too — the forked
+// clocks and the flusher frontier are pure functions of the admission
+// sequence.
 package iodaemon
 
 import (
@@ -72,11 +77,13 @@ func (c Config) withDefaults() Config {
 	if c.InitWindow <= 0 {
 		c.InitWindow = 4
 	}
-	if c.MaxWindow < c.InitWindow {
+	if c.MaxWindow <= 0 {
 		c.MaxWindow = 32
-		if c.MaxWindow < c.InitWindow {
-			c.MaxWindow = c.InitWindow
-		}
+	}
+	if c.MaxWindow < c.InitWindow {
+		// An explicit cap below the initial grant clamps to it rather
+		// than being mistaken for unset.
+		c.MaxWindow = c.InitWindow
 	}
 	if c.BackgroundRatio <= 0 {
 		c.BackgroundRatio = 2

@@ -389,3 +389,75 @@ func TestIODaemonConcurrentTraffic(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestOverwriteClearsReadAheadWait: a full-page overwrite of a page that
+// read-ahead filled discards the pending fill's contents, so a later
+// reader of the overwritten page owes no virtual-time wait for the
+// asynchronous device read's completion — its cost must match an
+// ordinary warm cache hit, not a fill wait.
+func TestOverwriteClearsReadAheadWait(t *testing.T) {
+	m, h, task := newIODMount(t)
+	const pages = 16
+	writeFilePages(t, m, task, "/f", pages)
+	m.DropCaches()
+
+	// A sequential demand read of pages 0-1 opens the initial window:
+	// pages 2-5 are filled asynchronously with readyAt in the virtual
+	// future (the reader's clock has already paid two demand fills, so
+	// those completions lie well ahead of a fresh task's clock).
+	rd := task.Kernel().NewTask("streamer")
+	f, err := m.Open(rd, "/f", fsapi.ORdonly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2*fsapi.PageSize)
+	if _, err := f.PRead(rd, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(rd, f); err != nil {
+		t.Fatal(err)
+	}
+
+	// Full-page overwrite of read-ahead-filled page 3 on a fresh clock.
+	wr := task.Kernel().NewTask("overwriter")
+	fw, err := m.Open(wr, "/f", fsapi.ORdwr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.PWrite(wr, bytes.Repeat([]byte{'Z'}, fsapi.PageSize), 3*fsapi.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(wr, fw); err != nil {
+		t.Fatal(err)
+	}
+
+	// Control: reading a demand-filled warm page (0) on a fresh task is
+	// a pure cache hit. Reading the overwritten page (3) must cost the
+	// same — before the fix it additionally jumped to the discarded
+	// fill's readyAt.
+	readOne := func(name string, pg int64) time.Duration {
+		tk := task.Kernel().NewTask(name)
+		fr, err := m.Open(tk, "/f", fsapi.ORdonly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Close(tk, fr)
+		one := make([]byte, fsapi.PageSize)
+		before := tk.Clk.Now()
+		if _, err := fr.PRead(tk, one, pg*fsapi.PageSize); err != nil {
+			t.Fatal(err)
+		}
+		if pg == 3 && one[0] != 'Z' {
+			t.Fatalf("page 3 starts with %q, want overwritten 'Z'", one[0])
+		}
+		return tk.Clk.Now() - before
+	}
+	control := readOne("control", 0)
+	subject := readOne("subject", 3)
+	if subject != control {
+		t.Fatalf("reading overwritten page cost %v, warm hit costs %v: stale readyAt wait leaked", subject, control)
+	}
+	if subject >= h.pageCost {
+		t.Fatalf("overwritten-page read (%v) cost a device fill (%v); want pure cache hit", subject, h.pageCost)
+	}
+}

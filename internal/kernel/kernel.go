@@ -5,6 +5,17 @@
 // exactly as Linux modules are (register_filesystem + mount), and every
 // operation charges virtual time per the cost model, so the benchmarks
 // measure modeled kernel-path costs rather than host noise.
+//
+// Concurrency model: tasks are ordinary goroutines and every shared
+// structure (mount table, dcache, vnodes, page and buffer caches) is
+// lock-protected, but benchmark workers additionally run under the
+// vclock scheduler — one admitted worker at a time, minimal (virtual
+// time, worker id) event first — so the order in which syscall paths
+// touch those structures, book the CPU pool, and queue device commands
+// is a pure function of virtual time. That is what makes the 32-thread
+// cells of the paper's tables replay bit-for-bit. The locks remain
+// load-bearing for callers outside the harness (examples, upgrade
+// machinery, crash tests) that drive concurrent tasks directly.
 package kernel
 
 import (

@@ -75,7 +75,13 @@ type vnode struct {
 	opens    int
 	unlinked bool // nlink hit zero; discard on last close
 	pc       lru.Core[*page]
-	ra       iodaemon.Window // read-ahead state (used only when m.iod != nil)
+
+	// ra is the read-ahead state (used only when m.iod != nil), under
+	// its own lock so the per-read window update never forces the
+	// cached-read path through the exclusive vnode lock. raMu is a
+	// leaf: readAhead drops it before touching vn.mu.
+	raMu sync.Mutex
+	ra   iodaemon.Window
 }
 
 // page is one cached 4K page. Readers bump lastUse under the shared
@@ -86,9 +92,11 @@ type vnode struct {
 // Pages filled by read-ahead carry readyAt, the virtual time their
 // asynchronous device read completes; a reader that catches up with the
 // pipeline waits until then. Demand-filled pages leave it zero: their
-// device wait was paid synchronously. readyAt is written only while the
-// page is being created under the exclusive vnode lock, so the
-// shared-lock read path may load it plainly.
+// device wait was paid synchronously, and a full-page overwrite clears
+// it (the overwrite discards the fill's contents, so no wait is owed).
+// readyAt is written only under the exclusive vnode lock (page creation
+// and full-page overwrite), so the shared-lock read path may load it
+// plainly.
 //
 // Read-ahead fills also run the lru.FillState publish-locked protocol
 // (BeginFill before publication, CompleteFill/drop+FailFill after), the
@@ -182,22 +190,22 @@ func (m *Mount) SwapFS(fs FileSystem) {
 
 // DropCaches evicts all clean cached pages and dentries (like
 // /proc/sys/vm/drop_caches); dirty state is untouched. Benchmarks use it
-// to measure cold paths.
+// to measure cold paths. Vnodes are visited in ascending inode order —
+// the drops commute, but the deterministic-replay contract is simpler to
+// audit when no path ever walks a Go map in iteration order.
 func (m *Mount) DropCaches() {
 	m.mu.Lock()
-	vns := make([]*vnode, 0, len(m.vnodes))
-	for _, vn := range m.vnodes {
-		vns = append(vns, vn)
-	}
 	m.dcache = make(map[dkey]fsapi.Ino)
 	m.mu.Unlock()
-	for _, vn := range vns {
+	for _, vn := range m.vnodesByIno() {
 		vn.mu.Lock()
 		dropped := vn.pc.DropClean()
+		vn.mu.Unlock()
 		// The ahead marker points at pages that just vanished; collapse
 		// the window so the next stream re-ramps over real misses.
+		vn.raMu.Lock()
 		vn.ra.Reset()
-		vn.mu.Unlock()
+		vn.raMu.Unlock()
 		m.totalPages.Add(-int64(dropped))
 	}
 }
@@ -545,28 +553,39 @@ func (m *Mount) balanceDirty(t *Task) error {
 
 // readAhead advises the read-ahead state machine about a demand read
 // covering pages [first, last] and schedules asynchronous fills for the
-// window it opens. Only called when m.iod != nil; takes vn.mu.
+// window it opens. Only called when m.iod != nil.
+//
+// The common warm-cache case never touches the exclusive vnode lock:
+// the window update runs under its own raMu, and the EOF clamp plus
+// fully-resident check run under the shared lock — so concurrent
+// readers of one cached file keep scaling, and cached benchmark phases
+// see no background clock traffic at all. Only a window with real
+// misses upgrades to vn.mu for the fills.
 func (vn *vnode) readAhead(t *Task, first, last int64) {
 	m := vn.m
 	d := m.iod
 	cfg := d.Config()
-	vn.mu.Lock()
-	defer vn.mu.Unlock()
 	t.Charge(m.model.ReadaheadUpdate)
+	vn.raMu.Lock()
 	start, count := vn.ra.Access(first, last, cfg.InitWindow, cfg.MaxWindow)
-	if count == 0 || vn.size == 0 {
+	vn.raMu.Unlock()
+	if count == 0 {
+		return
+	}
+	vn.mu.RLock()
+	if vn.size == 0 {
+		vn.mu.RUnlock()
 		return
 	}
 	// Clamp the window to EOF.
 	lastPg := (vn.size - 1) / fsapi.PageSize
 	if start > lastPg {
+		vn.mu.RUnlock()
 		return
 	}
 	if start+count-1 > lastPg {
 		count = lastPg - start + 1
 	}
-	// A fully resident window (warm cache) never wakes the daemon, so
-	// cached benchmark phases see no background clock traffic at all.
 	missing := false
 	for pg := start; pg < start+count; pg++ {
 		if _, ok := vn.pc.Peek(pg); !ok {
@@ -574,18 +593,35 @@ func (vn *vnode) readAhead(t *Task, first, last int64) {
 			break
 		}
 	}
+	vn.mu.RUnlock()
 	if !missing {
 		return
+	}
+	// Misses exist (or did moments ago — fillPageLocked re-checks each
+	// page, so a racing fill just turns into skips): run the batch.
+	vn.mu.Lock()
+	// Re-clamp against the current size: a truncate may have slipped in
+	// since the shared-lock check, and filling past the new EOF would
+	// cache phantom pages a later re-extension must never serve.
+	if vn.size == 0 || start > (vn.size-1)/fsapi.PageSize {
+		vn.mu.Unlock()
+		return
+	}
+	if lastPg := (vn.size - 1) / fsapi.PageSize; start+count-1 > lastPg {
+		count = lastPg - start + 1
 	}
 	err := d.FillAhead(t.Clk.NowNS(), start, count, func(rt *Task, pg int64) (bool, error) {
 		return vn.fillPageLocked(rt, pg)
 	})
+	vn.mu.Unlock()
 	if err != nil {
 		// A failed fill must not fail the demand read that merely
 		// triggered it; collapse the window so the stream stops running
 		// into the bad region. A demand read of the failed page will
 		// surface the error synchronously.
+		vn.raMu.Lock()
 		vn.ra.Reset()
+		vn.raMu.Unlock()
 	}
 }
 

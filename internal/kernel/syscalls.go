@@ -329,6 +329,10 @@ func (f *File) PWrite(t *Task, data []byte, off int64) (int, error) {
 func (vn *vnode) pageForOverwrite(idx int64) *page {
 	if pg, ok := vn.pc.Peek(idx); ok {
 		pg.lastUse.Store(vn.m.seq.Add(1))
+		// A full overwrite discards whatever a pending read-ahead fill
+		// would have delivered, so later readers owe no wait for it;
+		// the fill's device booking stays (the queue really was busy).
+		pg.readyAt = 0
 		return pg
 	}
 	pg := &page{data: make([]byte, fsapi.PageSize)}

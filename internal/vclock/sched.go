@@ -1,0 +1,230 @@
+package vclock
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Scheduler is a deterministic coordinator for a fixed set of simulated
+// workers. It turns the old free-running-goroutines-with-a-pace-window
+// execution model into a sequential discrete-event loop: at any moment at
+// most one worker runs, and whenever the running worker reaches a
+// scheduling point the coordinator admits the parked worker with the
+// globally minimal (virtual time, worker id) pending event. Virtual time
+// is the worker's clock; the id — assigned in registration order — breaks
+// ties, so the admission sequence is a pure function of the simulation
+// state and never of host scheduling, host load, or GOMAXPROCS.
+//
+// The event granularity is one scheduling slice: the work a worker
+// performs between two Yield calls (for the benchmark harness, one
+// workload operation). Slices run to completion while every other worker
+// is parked, so a slice may take simulation locks freely — a parked
+// worker never holds one, because the harness places scheduling points
+// only where no locks are held. Coarser than yielding at every clock
+// tick, this keeps the coordinator deadlock-free by construction while
+// still fixing the interleaving: shared resources (vclock.Resource
+// channel bookings, cache fills, flusher state) are touched in exactly
+// the admission order, which is deterministic.
+//
+// Protocol:
+//
+//	sched := NewScheduler()
+//	// register every worker before any of them starts
+//	w := sched.Register(clk)
+//	go func() {
+//	    w.Begin()          // park until admitted the first time
+//	    defer w.Done()     // retire; admit the next worker
+//	    for ... {
+//	        w.Yield()      // scheduling point between operations
+//	        ... one operation, advancing clk ...
+//	    }
+//	}()
+//
+// No worker is admitted until every registered worker has parked in
+// Begin, so late-starting goroutines cannot be raced past by early ones.
+// A worker that returns early (error, op cap) simply calls Done; the
+// remaining workers continue in (time, id) order.
+type Scheduler struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	workers []*Worker
+	running *Worker
+	sealed  bool // set once the first worker parks; Register then panics
+}
+
+// Worker is one scheduler participant, bound to the clock it registered.
+type Worker struct {
+	s      *Scheduler
+	clk    *Clock
+	id     int
+	parked bool
+	done   bool
+}
+
+// NewScheduler creates an empty scheduler.
+func NewScheduler() *Scheduler {
+	s := &Scheduler{}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Register adds a worker driving clk. All workers must be registered
+// before any of them calls Begin — ids are assigned in registration
+// order and are the deterministic tie-break, so admitting anyone before
+// the roster is complete would reintroduce a host-order dependence.
+func (s *Scheduler) Register(clk *Clock) *Worker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sealed {
+		panic("vclock: Scheduler.Register after a worker began")
+	}
+	w := &Worker{s: s, clk: clk, id: len(s.workers)}
+	s.workers = append(s.workers, w)
+	return w
+}
+
+// Clock reports the clock the worker registered with.
+func (w *Worker) Clock() *Clock { return w.clk }
+
+// ID reports the worker's registration index (the tie-break key).
+func (w *Worker) ID() int { return w.id }
+
+// Begin parks the worker until the coordinator admits it for its first
+// slice. Every registered worker must eventually call Begin (or Done),
+// or the whole group stalls waiting for the roster to assemble. It
+// reports whether the worker was admitted: false means a supervisor
+// retired it while parked, and the caller must not run — a retired
+// worker executing anyway would mutate shared state outside the
+// one-runner discipline.
+func (w *Worker) Begin() bool {
+	s := w.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sealed = true
+	w.parked = true
+	s.admitLocked()
+	for s.running != w {
+		if w.done {
+			return false // retired while parked (Done from a supervisor)
+		}
+		s.cond.Wait()
+	}
+	return true
+}
+
+// Yield is a scheduling point: the worker parks its current clock as its
+// next pending event and blocks until the coordinator admits it again —
+// which happens once every worker with an earlier (time, id) event has
+// run past it, finished, or parked later. Call only from the admitted
+// worker, with no simulation locks held. Like Begin it reports whether
+// the worker was re-admitted; on false (retired by a supervisor while
+// parked) the caller must stop immediately.
+func (w *Worker) Yield() bool {
+	s := w.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.running != w {
+		panic(fmt.Sprintf("vclock: Yield from worker %d which is not running", w.id))
+	}
+	s.running = nil
+	w.parked = true
+	s.admitLocked()
+	for s.running != w {
+		if w.done {
+			return false
+		}
+		s.cond.Wait()
+	}
+	return true
+}
+
+// Done retires the worker and admits the next pending one. The worker's
+// clock no longer participates in admission decisions. Done is the
+// worker's own completion: call it from the worker goroutine when it
+// finishes its final slice (calling it again is a no-op, so deferring
+// it is safe). Retiring another worker from outside is Retire — calling
+// Done on a live worker that is not currently running panics, because
+// silently admitting a successor while the "completed" worker might
+// still run would break the one-runner discipline.
+func (w *Worker) Done() {
+	s := w.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if w.done {
+		return
+	}
+	if s.running != w {
+		panic(fmt.Sprintf("vclock: Done on worker %d which is not running (use Retire from a supervisor)", w.id))
+	}
+	w.retireLocked()
+}
+
+// Retire retires the worker from outside its own goroutine: a
+// supervisor tearing a group down early. It is only legal while the
+// worker is parked (in Begin/Yield, which then return false) or has not
+// begun; retiring the running worker panics, since it may be mid-slice
+// mutating shared state. Retirement is cancellation, not a scheduling
+// primitive: once a group has retired workers, their unwinding cleanup
+// runs outside the admission order, so the run's virtual-time outputs
+// are no longer deterministic — retire only groups whose results will
+// be discarded. Retiring an already-done worker is a no-op.
+func (w *Worker) Retire() {
+	s := w.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if w.done {
+		return
+	}
+	if s.running == w {
+		panic(fmt.Sprintf("vclock: Retire of worker %d while it is running", w.id))
+	}
+	w.retireLocked()
+}
+
+// retireLocked marks the worker done and hands the slice on. Caller
+// holds s.mu.
+func (w *Worker) retireLocked() {
+	s := w.s
+	w.done = true
+	w.parked = false
+	if s.running == w {
+		s.running = nil
+	}
+	s.admitLocked()
+	// admitLocked broadcasts only when it admits; wake parked workers
+	// unconditionally so one retired while parked observes its own done
+	// flag rather than sleeping forever.
+	s.cond.Broadcast()
+}
+
+// admitLocked grants the next slice: if no worker is running and every
+// live worker has parked (the roster is assembled), the parked worker
+// with the minimal (virtual time, id) event is admitted. Caller holds
+// s.mu.
+func (s *Scheduler) admitLocked() {
+	if s.running != nil {
+		return
+	}
+	var next *Worker
+	for _, w := range s.workers {
+		if w.done {
+			continue
+		}
+		if !w.parked {
+			return // a live worker has not reached Begin/Yield yet
+		}
+		if next == nil {
+			next = w
+			continue
+		}
+		if n, m := w.clk.NowNS(), next.clk.NowNS(); n < m || (n == m && w.id < next.id) {
+			next = w
+		}
+	}
+	if next == nil {
+		return // everyone retired
+	}
+	next.parked = false
+	s.running = next
+	s.cond.Broadcast()
+}

@@ -215,82 +215,67 @@ func (r *Resource) Reset() {
 // Group tracks a set of worker clocks belonging to one benchmark run; the
 // run's elapsed virtual time is the maximum over its workers.
 //
-// Group also paces its workers: shared Resources book service at
-// max(now, channel-free), so if one worker races far ahead in *host*
-// order it reserves channel time deep in the virtual future and the idle
-// gaps it leaves are unusable by workers running at earlier virtual
-// times. Pace blocks a worker whose clock is more than PaceWindow ahead
-// of the slowest active worker, bounding that capacity loss — the
-// standard conservative-window technique from parallel discrete-event
-// simulation.
+// Group also schedules its workers, through a deterministic Scheduler
+// (see sched.go): at most one worker runs at a time, and at every
+// scheduling point the worker with the minimal (virtual time,
+// registration id) pending event is admitted. Earlier revisions let
+// workers free-run and only *paced* the fastest against a conservative
+// window, which bounded — but did not remove — the host-order dependence
+// of shared Resource bookings; multi-thread cells were reproducible only
+// in distribution. Under the scheduler the interleaving itself is a pure
+// function of virtual time, so every cell replays bit-for-bit.
 type Group struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	clocks []*Clock
-	done   map[*Clock]bool
-	start  int64
+	mu    sync.Mutex
+	sched *Scheduler
+	byClk map[*Clock]*Worker // the group's roster, keyed for the Clock-based facades
+	start int64
 }
-
-// PaceWindow bounds how far a worker's virtual clock may run ahead of the
-// slowest active worker in its group.
-const PaceWindow = 2 * time.Millisecond
 
 // NewGroup creates a group whose elapsed time is measured from start.
 func NewGroup(start time.Duration) *Group {
-	g := &Group{start: int64(start), done: make(map[*Clock]bool)}
-	g.cond = sync.NewCond(&g.mu)
-	return g
+	return &Group{sched: NewScheduler(), byClk: make(map[*Clock]*Worker), start: int64(start)}
 }
 
 // NewWorker creates and registers a worker clock starting at the group's
-// start time.
+// start time. All workers must be registered before any calls Begin.
 func (g *Group) NewWorker() *Clock {
 	c := NewClockAt(time.Duration(g.start))
+	w := g.sched.Register(c)
 	g.mu.Lock()
-	g.clocks = append(g.clocks, c)
+	g.byClk[c] = w
 	g.mu.Unlock()
 	return c
 }
 
-// minActiveLocked returns the slowest non-done worker clock.
-func (g *Group) minActiveLocked() (int64, bool) {
-	min, any := int64(0), false
-	for _, c := range g.clocks {
-		if g.done[c] {
-			continue
-		}
-		n := c.NowNS()
-		if !any || n < min {
-			min, any = n, true
-		}
+// Worker resolves the scheduler handle for a registered clock. Hot
+// paths (a benchmark worker's per-operation pace) should resolve the
+// handle once and call its Begin/Yield/Done directly rather than going
+// through the clock-keyed facades below on every operation.
+func (g *Group) Worker(c *Clock) *Worker {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	w, ok := g.byClk[c]
+	if !ok {
+		panic("vclock: clock does not belong to this group")
 	}
-	return min, any
+	return w
 }
 
-// Pace blocks until c is within PaceWindow of the slowest active worker.
-// Workers call it between operations (never while holding file-system
-// locks). It must be paired with Done when the worker finishes, or the
-// group stalls.
-func (g *Group) Pace(c *Clock) {
-	g.mu.Lock()
-	g.cond.Broadcast() // our own progress may unblock others
-	for {
-		min, any := g.minActiveLocked()
-		if !any || c.NowNS() <= min+int64(PaceWindow) {
-			break
-		}
-		g.cond.Wait()
-	}
-	g.mu.Unlock()
-}
+// Begin parks the worker until the scheduler admits it for its first
+// slice. Call it before the worker touches any shared simulation state;
+// it must be paired with Done, or the group stalls. It reports whether
+// the worker was admitted — false means it was retired while parked and
+// must not run.
+func (g *Group) Begin(c *Clock) bool { return g.Worker(c).Begin() }
 
-// Done marks a worker finished so it no longer holds the pace window back.
-func (g *Group) Done(c *Clock) {
-	g.mu.Lock()
-	g.done[c] = true
-	g.cond.Broadcast()
-	g.mu.Unlock()
-}
+// Pace is the worker's scheduling point between operations (never while
+// holding file-system locks): it parks the worker and blocks until every
+// other worker with an earlier (virtual time, id) event has run. A false
+// return means the worker was retired while parked and must stop.
+func (g *Group) Pace(c *Clock) bool { return g.Worker(c).Yield() }
+
+// Done retires a finished worker so admission no longer waits for it.
+func (g *Group) Done(c *Clock) { g.Worker(c).Done() }
 
 // Elapsed reports the wall-clock-equivalent duration of the run so far: the
 // furthest-ahead worker clock minus the start time.
@@ -298,7 +283,7 @@ func (g *Group) Elapsed() time.Duration {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	max := g.start
-	for _, c := range g.clocks {
+	for c := range g.byClk {
 		if n := c.NowNS(); n > max {
 			max = n
 		}
