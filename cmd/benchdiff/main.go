@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"bento/internal/harness"
 )
@@ -36,6 +37,7 @@ func main() {
 	baselinePath := flag.String("baseline", "BENCH_baseline.json", "checked-in bentobench -json baseline")
 	newPath := flag.String("new", "", "fresh bentobench -json output to gate")
 	tol := flag.Float64("tol", 0.05, "allowed fractional regression per cell")
+	mdPath := flag.String("md", "", "append a Markdown report to this file (CI passes $GITHUB_STEP_SUMMARY so the per-cell table lands on the run's summary page)")
 	flag.Parse()
 	if *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
@@ -54,6 +56,21 @@ func main() {
 	}
 	rep := Compare(baseline, fresh, *tol)
 	fmt.Print(rep.Text())
+	if *mdPath != "" {
+		f, err := os.OpenFile(*mdPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		_, werr := f.WriteString(rep.Markdown())
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: writing %s: %v\n", *mdPath, werr)
+			os.Exit(2)
+		}
+	}
 	if rep.Failed() {
 		os.Exit(1)
 	}
@@ -203,4 +220,49 @@ func (r Report) Text() string {
 	out += fmt.Sprintf("benchdiff: %s — %d cells compared, %d regressed, %d missing, %d improved, %d drifted, %d added (tol %.0f%%)\n",
 		verdict, r.Compared, len(r.Regressions), len(r.Missing), len(r.Improvements), len(r.Drifts), len(r.Added), r.Tol*100)
 	return out
+}
+
+// Markdown renders the report as GitHub-flavored Markdown for the CI
+// step summary: verdict first, then one table per section with the
+// per-cell numbers — a failing gate shows exactly which cells sank
+// without anyone digging through job logs.
+func (r Report) Markdown() string {
+	var b strings.Builder
+	verdict := "✅ OK"
+	if r.Failed() {
+		verdict = "❌ FAIL"
+	}
+	fmt.Fprintf(&b, "## benchdiff: %s\n\n", verdict)
+	fmt.Fprintf(&b, "%d cells compared at %.0f%% tolerance — %d regressed, %d missing, %d improved, %d drifted, %d added\n\n",
+		r.Compared, r.Tol*100, len(r.Regressions), len(r.Missing), len(r.Improvements), len(r.Drifts), len(r.Added))
+
+	deltaTable := func(title string, ds []Delta) {
+		if len(ds) == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "### %s\n\n", title)
+		b.WriteString("| cell | baseline | fresh | delta |\n|---|---:|---:|---:|\n")
+		for _, d := range ds {
+			fmt.Fprintf(&b, "| `%s` | %.1f | %.1f | %+.2f%% |\n", d.Key, d.Old, d.New, (d.Ratio-1)*100)
+		}
+		b.WriteByte('\n')
+	}
+	deltaTable("Regressions (fail)", r.Regressions)
+	if len(r.Missing) > 0 {
+		b.WriteString("### Missing cells (fail)\n\n")
+		for _, k := range r.Missing {
+			fmt.Fprintf(&b, "- `%s` — present in the baseline, absent from the fresh run\n", k)
+		}
+		b.WriteByte('\n')
+	}
+	deltaTable("Improvements", r.Improvements)
+	deltaTable("Drift within tolerance (regenerate the baseline if intentional)", r.Drifts)
+	if len(r.Added) > 0 {
+		b.WriteString("### New cells (regenerate the baseline to gate them)\n\n")
+		for _, k := range r.Added {
+			fmt.Fprintf(&b, "- `%s`\n", k)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
 }

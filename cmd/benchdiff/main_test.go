@@ -107,3 +107,39 @@ func TestCompareSubToleranceDriftIsReported(t *testing.T) {
 		t.Fatalf("report text missing drift line:\n%s", rep.Text())
 	}
 }
+
+func TestMarkdownReportListsCells(t *testing.T) {
+	base := []harness.Record{
+		rec("fig2", "Bento", "read-seq-32t-4k", 1000, 50000, 0, 0),
+		rec("fig4", "FUSE", "write-seq-1t-32k", 500, 900, 0, 0),
+		rec("stream", "Ext4", "stream-read-1t-128k", 320, 10, 41943040, 46),
+	}
+	fresh := []harness.Record{
+		rec("fig2", "Bento", "read-seq-32t-4k", 800, 40000, 0, 0), // -20%: regression
+		rec("fig4", "FUSE", "write-seq-1t-32k", 600, 1100, 0, 0),  // +22%: improvement
+		// stream cell missing: fails
+		rec("table4", "Bento", "createfiles-1t", 100, 2000, 0, 0), // new cell
+	}
+	rep := Compare(base, fresh, 0.05)
+	md := rep.Markdown()
+	if !strings.Contains(md, "❌ FAIL") {
+		t.Fatalf("markdown missing FAIL verdict:\n%s", md)
+	}
+	for _, want := range []string{
+		"Regressions (fail)",
+		"| `fig2/Bento/read-seq-32t-4k` | 50000.0 | 40000.0 | -20.00% |",
+		"Missing cells (fail)",
+		"`stream/Ext4/stream-read-1t-128k`",
+		"Improvements",
+		"New cells",
+		"`table4/Bento/createfiles-1t`",
+	} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+
+	if ok := Compare(base, base, 0.05).Markdown(); !strings.Contains(ok, "✅ OK") {
+		t.Fatalf("clean run markdown missing OK verdict:\n%s", ok)
+	}
+}

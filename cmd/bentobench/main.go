@@ -9,6 +9,7 @@
 //	bentobench -json            # machine-readable cells on stdout (tables go to stderr)
 //	bentobench -shards 8        # add the sharded-buffer-cache Bento row
 //	bentobench -noiod           # disable background I/O (read-ahead + flusher)
+//	bentobench -databypass=false # re-enable data double-caching (seed behaviour)
 package main
 
 import (
@@ -29,6 +30,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit machine-readable results (one JSON array) on stdout; tables move to stderr")
 	shards := flag.Int("shards", 0, "buffer-cache shards for the Bento-shard study row (>1 to enable)")
 	noiod := flag.Bool("noiod", false, "disable the background I/O subsystem on the in-kernel variants")
+	databypass := flag.Bool("databypass", true, "single-copy data caching: file contents bypass the buffer cache on the in-kernel variants (false restores the seed's double-caching)")
 	flag.Parse()
 
 	o := harness.Defaults()
@@ -40,6 +42,7 @@ func main() {
 	}
 	o.CacheShards = *shards
 	o.NoIODaemon = *noiod
+	o.NoDataBypass = !*databypass
 
 	tables := os.Stdout
 	if *jsonOut {

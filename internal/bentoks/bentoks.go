@@ -246,6 +246,36 @@ func (sb *SuperBlock) bread(t *kernel.Task, blk int, fill bool) (*BufferHead, er
 	return bh, nil
 }
 
+// BReadDirect is the data-path read: device to caller page with queue
+// booking and cost accounting but no buffer-cache insertion. There is
+// no reference to track — the caller owns buf — so the ownership
+// checker sees only the capability check.
+func (sb *SuperBlock) BReadDirect(t *kernel.Task, blk int, buf []byte) error {
+	if err := sb.check(); err != nil {
+		return err
+	}
+	t.Charge(t.Model().WrapperCheck)
+	return sb.bc.ReadDirect(t, blk, buf)
+}
+
+// BWriteDirect is the data-path write: a cache-bypass submit returning
+// the completion time for batched waiting.
+func (sb *SuperBlock) BWriteDirect(t *kernel.Task, blk int, buf []byte) (int64, error) {
+	if err := sb.check(); err != nil {
+		return 0, err
+	}
+	t.Charge(t.Model().WrapperCheck)
+	return sb.bc.WriteDirect(t, blk, buf)
+}
+
+// DropCleanBuffers evicts clean, unreferenced buffers (the drop_caches
+// hook the BentoFS shim forwards from the kernel).
+func (sb *SuperBlock) DropCleanBuffers() int { return sb.bc.DropClean() }
+
+// BufferCache exposes the underlying cache for diagnostics and tests
+// (residency assertions); file systems must not use it for I/O.
+func (sb *SuperBlock) BufferCache() *kernel.BufferCache { return sb.bc }
+
 // WithBuffer brackets fn with BRead/Release — the closest Go can come to
 // Rust's drop-based buffer management. Using it makes leaks impossible.
 func (sb *SuperBlock) WithBuffer(t *kernel.Task, blk int, fn func(Buffer) error) error {

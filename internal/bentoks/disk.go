@@ -38,6 +38,17 @@ type Disk interface {
 	// BReadNoFill returns a zeroed buffer for a block about to be fully
 	// overwritten.
 	BReadNoFill(t *kernel.Task, blk int) (Buffer, error)
+	// BReadDirect reads blk straight into buf (one block) without
+	// populating any block cache — the single-copy data path. File
+	// systems use it for file contents so data lives only in the page
+	// cache above; metadata keeps going through BRead.
+	BReadDirect(t *kernel.Task, blk int, buf []byte) error
+	// BWriteDirect submits a write of buf to blk without populating any
+	// block cache and returns the command's completion time; callers
+	// batch submits and wait once, like the buffered SubmitWrite path.
+	// At user level the write is synchronous (O_DIRECT pwrite) and the
+	// returned completion is simply "now".
+	BWriteDirect(t *kernel.Task, blk int, buf []byte) (completion int64, err error)
 	// WithBuffer brackets fn with BRead/Release.
 	WithBuffer(t *kernel.Task, blk int, fn func(Buffer) error) error
 	// SyncDirtyBuffers writes all dirty cached buffers.

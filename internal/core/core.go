@@ -149,8 +149,9 @@ type BentoFS struct {
 }
 
 var (
-	_ kernel.FileSystem  = (*BentoFS)(nil)
-	_ kernel.BatchWriter = (*BentoFS)(nil)
+	_ kernel.FileSystem        = (*BentoFS)(nil)
+	_ kernel.BatchWriter       = (*BentoFS)(nil)
+	_ kernel.BlockCacheDropper = (*BentoFS)(nil)
 )
 
 // enter charges the translation cost and takes the quiesce read-lock.
@@ -357,6 +358,11 @@ func (b *BentoFS) WritePages(t *kernel.Task, ino fsapi.Ino, pg int64, pages [][]
 	}
 	return nil
 }
+
+// DropCleanBlocks implements kernel.BlockCacheDropper: drop_caches
+// reaches the in-kernel buffer cache behind the capability, but never a
+// userspace daemon's memory (the FUSE transport does not forward it).
+func (b *BentoFS) DropCleanBlocks() int { return b.sb.DropCleanBuffers() }
 
 // Fsync implements kernel.FileSystem.
 func (b *BentoFS) Fsync(t *kernel.Task, ino fsapi.Ino, dataOnly bool) error {

@@ -98,6 +98,19 @@ type Model struct {
 	// ->writepages writeback (amortized across the batch).
 	WritepagesCall time.Duration
 
+	// --- Direct data path (single-copy caching) ---
+
+	// DirectReadSetup is the per-block CPU cost of a buffer-cache-bypass
+	// read: building the bio and mapping the destination page for DMA
+	// straight from the device, with no cache insertion or eviction work.
+	// Charged instead of BufferCacheLookup on the data read path.
+	DirectReadSetup time.Duration
+	// DirectWriteSetup is the per-block CPU cost of submitting a
+	// buffer-cache-bypass write (bio setup + DMA mapping of the source
+	// page). The device service time is charged separately, and batched
+	// submitters overlap it across the device queues.
+	DirectWriteSetup time.Duration
+
 	// --- Background I/O (internal/iodaemon) ---
 
 	// ReadaheadUpdate is the per-read cost of the sequential-access
@@ -144,6 +157,9 @@ func Default() *Model {
 		WritepageCall:  1800 * time.Nanosecond,
 		WritepagesCall: 2600 * time.Nanosecond,
 
+		DirectReadSetup:  220 * time.Nanosecond,
+		DirectWriteSetup: 220 * time.Nanosecond,
+
 		ReadaheadUpdate: 120 * time.Nanosecond,
 		AsyncFillPage:   350 * time.Nanosecond,
 		FlusherWakeup:   2 * time.Microsecond,
@@ -182,6 +198,9 @@ func Fast() *Model {
 
 		WritepageCall:  1 * time.Nanosecond,
 		WritepagesCall: 1 * time.Nanosecond,
+
+		DirectReadSetup:  1 * time.Nanosecond,
+		DirectWriteSetup: 1 * time.Nanosecond,
 
 		ReadaheadUpdate: 1 * time.Nanosecond,
 		AsyncFillPage:   1 * time.Nanosecond,

@@ -51,6 +51,14 @@ type Config struct {
 	// CacheShards splits the buffer cache over this many shards (<=1: a
 	// single exact-LRU shard; see kernel.NewBufferCacheSharded).
 	CacheShards int
+	// DataBypass routes regular-file contents around the buffer cache
+	// and the journal: data blocks move directly between the device and
+	// the pages above, demoting the mount from data=journal to
+	// data=writeback-style semantics while keeping metadata journaling
+	// intact. The paper mounts ext4 with data=journal only to match
+	// xv6's journal-everything log; when the xv6 variants run the
+	// bypass, enabling it here keeps the comparison apples-to-apples.
+	DataBypass bool
 }
 
 // Name implements kernel.FileSystemType.
@@ -236,9 +244,26 @@ type FS struct {
 }
 
 var (
-	_ kernel.FileSystem  = (*FS)(nil)
-	_ kernel.BatchWriter = (*FS)(nil)
+	_ kernel.FileSystem        = (*FS)(nil)
+	_ kernel.BatchWriter       = (*FS)(nil)
+	_ kernel.BlockCacheDropper = (*FS)(nil)
 )
+
+// BufferCache exposes the metadata cache (tests and diagnostics).
+func (fs *FS) BufferCache() *kernel.BufferCache { return fs.bc }
+
+// DataStart reports the first data-region block (tests and diagnostics).
+func (fs *FS) DataStart() uint32 { return fs.super.dataStart }
+
+// DropCleanBlocks implements kernel.BlockCacheDropper (drop_caches).
+func (fs *FS) DropCleanBlocks() int { return fs.bc.DropClean() }
+
+// dataDirect reports whether ip's contents take the buffer-cache
+// bypass: regular-file data only, with DataBypass configured. Caller
+// holds ip.mu.
+func (fs *FS) dataDirect(ip *inode) bool {
+	return fs.cfg.DataBypass && ip.din.Type == layout.TypeFile
+}
 
 // Commits reports compound commits (benchmark stat; compare with the xv6
 // log's per-operation commit count).

@@ -10,7 +10,12 @@ import (
 
 // --- allocation ---
 
-func (fs *FS) balloc(t *kernel.Task) (uint32, error) {
+// balloc allocates a block within the current handle. A data leaf under
+// the bypass skips the journaled zeroing: its allocating writer
+// overwrites the full block via the direct path before the size extends
+// over it, and a journaled zero's deferred checkpoint could clobber the
+// direct write.
+func (fs *FS) balloc(t *kernel.Task, dataLeaf bool) (uint32, error) {
 	fs.allocMu.Lock()
 	defer fs.allocMu.Unlock()
 	sb := &fs.super
@@ -39,6 +44,10 @@ func (fs *FS) balloc(t *kernel.Task) (uint32, error) {
 						return 0, err
 					}
 					_ = bh.Release()
+					if dataLeaf && fs.cfg.DataBypass {
+						fs.blockRotor = cur + 1
+						return cur, nil
+					}
 					zb, err := fs.bc.GetNoRead(t, int(cur))
 					if err != nil {
 						return 0, err
@@ -222,22 +231,24 @@ func (fs *FS) iput(t *kernel.Task, ip *inode, hasHandle bool) error {
 // bmap/itrunc/readi/writei: same pointer tree as xv6 (the comparison
 // isolates journaling and lookup behaviour, not extent formats).
 
-func (fs *FS) bmap(t *kernel.Task, ip *inode, bn uint64, alloc bool) (uint32, error) {
+func (fs *FS) bmap(t *kernel.Task, ip *inode, bn uint64, alloc bool) (blk uint32, fresh bool, err error) {
 	if bn >= layout.MaxFileBlocks {
-		return 0, fsapi.ErrFileTooBig
+		return 0, false, fsapi.ErrFileTooBig
 	}
+	dataLeaf := fs.dataDirect(ip)
 	if bn < layout.NDirect {
 		if ip.din.Addrs[bn] == 0 && alloc {
-			a, err := fs.balloc(t)
+			a, err := fs.balloc(t, dataLeaf)
 			if err != nil {
-				return 0, err
+				return 0, false, err
 			}
 			ip.din.Addrs[bn] = a
 			if err := fs.iupdate(t, ip); err != nil {
-				return 0, err
+				return 0, false, err
 			}
+			return a, true, nil
 		}
-		return ip.din.Addrs[bn], nil
+		return ip.din.Addrs[bn], false, nil
 	}
 	var idxs []int
 	var slot *uint32
@@ -252,46 +263,48 @@ func (fs *FS) bmap(t *kernel.Task, ip *inode, bn uint64, alloc bool) (uint32, er
 	cur := *slot
 	if cur == 0 {
 		if !alloc {
-			return 0, nil
+			return 0, false, nil
 		}
-		a, err := fs.balloc(t)
+		a, err := fs.balloc(t, false)
 		if err != nil {
-			return 0, err
+			return 0, false, err
 		}
 		*slot = a
 		if err := fs.iupdate(t, ip); err != nil {
-			return 0, err
+			return 0, false, err
 		}
 		cur = a
 	}
-	for _, idx := range idxs {
+	for lvl, idx := range idxs {
+		leaf := lvl == len(idxs)-1
 		bh, err := fs.bc.Get(t, int(cur))
 		if err != nil {
-			return 0, err
+			return 0, false, err
 		}
 		data := bh.Data()
 		next := u32(data, 4*idx)
 		if next == 0 {
 			if !alloc {
 				_ = bh.Release()
-				return 0, nil
+				return 0, false, nil
 			}
-			a, err := fs.balloc(t)
+			a, err := fs.balloc(t, leaf && dataLeaf)
 			if err != nil {
 				_ = bh.Release()
-				return 0, err
+				return 0, false, err
 			}
 			pu32(data, 4*idx, a)
 			if err := fs.jwrite(t, bh); err != nil {
 				_ = bh.Release()
-				return 0, err
+				return 0, false, err
 			}
 			next = a
+			fresh = leaf
 		}
 		_ = bh.Release()
 		cur = next
 	}
-	return cur, nil
+	return cur, fresh, nil
 }
 
 func (fs *FS) itrunc(t *kernel.Task, ip *inode) error {
@@ -356,6 +369,8 @@ func (fs *FS) readi(t *kernel.Task, ip *inode, off int64, buf []byte) (int, erro
 	if off+want > size {
 		want = size - off
 	}
+	direct := fs.dataDirect(ip)
+	var bounce []byte
 	var done int64
 	for done < want {
 		bn := uint64((off + done) / layout.BlockSize)
@@ -364,13 +379,26 @@ func (fs *FS) readi(t *kernel.Task, ip *inode, off int64, buf []byte) (int, erro
 		if n > want-done {
 			n = want - done
 		}
-		blk, err := fs.bmap(t, ip, bn, false)
+		blk, _, err := fs.bmap(t, ip, bn, false)
 		if err != nil {
 			return int(done), err
 		}
-		if blk == 0 {
+		switch {
+		case blk == 0:
 			clear(buf[done : done+n])
-		} else {
+		case direct && bo == 0 && n == layout.BlockSize:
+			if err := fs.bc.ReadDirect(t, int(blk), buf[done:done+n]); err != nil {
+				return int(done), err
+			}
+		case direct:
+			if bounce == nil {
+				bounce = make([]byte, layout.BlockSize)
+			}
+			if err := fs.bc.ReadDirect(t, int(blk), bounce); err != nil {
+				return int(done), err
+			}
+			copy(buf[done:done+n], bounce[bo:bo+n])
+		default:
 			bh, err := fs.bc.Get(t, int(blk))
 			if err != nil {
 				return int(done), err
@@ -387,6 +415,14 @@ func (fs *FS) writei(t *kernel.Task, ip *inode, off int64, buf []byte) (int, err
 	if off < 0 || off+int64(len(buf)) > layout.MaxFileSize {
 		return 0, fsapi.ErrFileTooBig
 	}
+	direct := fs.dataDirect(ip)
+	var bounce []byte
+	var batchEnd int64 // latest completion of batched direct submits
+	wait := func() {
+		if batchEnd != 0 {
+			t.Clk.AdvanceTo(batchEnd)
+		}
+	}
 	var done int64
 	want := int64(len(buf))
 	for done < want {
@@ -396,9 +432,40 @@ func (fs *FS) writei(t *kernel.Task, ip *inode, off int64, buf []byte) (int, err
 		if n > want-done {
 			n = want - done
 		}
-		blk, err := fs.bmap(t, ip, bn, true)
+		blk, fresh, err := fs.bmap(t, ip, bn, true)
 		if err != nil {
+			wait()
 			return int(done), err
+		}
+		if direct {
+			src := buf[done : done+n]
+			if bo != 0 || n != layout.BlockSize {
+				// Merge base: zeros for any block holding no committed
+				// file bytes — fresh, or mapped wholly at/beyond EOF (a
+				// leaf orphaned by a failed direct write, which skipped
+				// balloc's zeroing); device content otherwise.
+				if bounce == nil {
+					bounce = make([]byte, layout.BlockSize)
+				}
+				if fresh || int64(bn)*layout.BlockSize >= int64(ip.din.Size) {
+					clear(bounce)
+				} else if err := fs.bc.ReadDirect(t, int(blk), bounce); err != nil {
+					wait()
+					return int(done), err
+				}
+				copy(bounce[bo:bo+n], src)
+				src = bounce
+			}
+			completion, err := fs.bc.WriteDirect(t, int(blk), src)
+			if err != nil {
+				wait()
+				return int(done), err
+			}
+			if completion > batchEnd {
+				batchEnd = completion
+			}
+			done += n
+			continue
 		}
 		var bh *kernel.BufferHead
 		if n == layout.BlockSize {
@@ -417,6 +484,7 @@ func (fs *FS) writei(t *kernel.Task, ip *inode, off int64, buf []byte) (int, err
 		_ = bh.Release()
 		done += n
 	}
+	wait()
 	if end := off + done; end > int64(ip.din.Size) {
 		ip.din.Size = uint64(end)
 	}

@@ -237,7 +237,7 @@ func (fs *FS) SetSize(t *kernel.Task, ino fsapi.Ino, size int64) error {
 		firstDead := (size + layout.BlockSize - 1) / layout.BlockSize
 		lastOld := (old + layout.BlockSize - 1) / layout.BlockSize
 		for bn := firstDead; bn < lastOld; bn++ {
-			blk, err := fs.bmap(t, ip, uint64(bn), false)
+			blk, _, err := fs.bmap(t, ip, uint64(bn), false)
 			if err != nil {
 				return err
 			}
@@ -249,8 +249,20 @@ func (fs *FS) SetSize(t *kernel.Task, ino fsapi.Ino, size int64) error {
 			}
 		}
 		if size%layout.BlockSize != 0 {
-			if blk, err := fs.bmap(t, ip, uint64(size/layout.BlockSize), false); err != nil {
+			if blk, _, err := fs.bmap(t, ip, uint64(size/layout.BlockSize), false); err != nil {
 				return err
+			} else if blk != 0 && fs.dataDirect(ip) {
+				// Direct read-modify-write: zero the tail on the device.
+				tail := make([]byte, layout.BlockSize)
+				if err := fs.bc.ReadDirect(t, int(blk), tail); err != nil {
+					return err
+				}
+				clear(tail[size%layout.BlockSize:])
+				done, err := fs.bc.WriteDirect(t, int(blk), tail)
+				if err != nil {
+					return err
+				}
+				t.Clk.AdvanceTo(done)
 			} else if blk != 0 {
 				bh, err := fs.bc.Get(t, int(blk))
 				if err != nil {

@@ -100,6 +100,43 @@ func (ud *UserDisk) get(t *kernel.Task, blk int, fill bool) (bentoks.Buffer, err
 	return b, nil
 }
 
+// BReadDirect implements bentoks.Disk: a pread(2) of the disk file
+// straight into the caller's buffer, skipping the user-level cache. A
+// resident cached copy is served instead of re-reading — at user level
+// the "cache" and the "device" are the same disk file, and the cached
+// copy may carry dirty bytes the file does not have yet.
+func (ud *UserDisk) BReadDirect(t *kernel.Task, blk int, buf []byte) error {
+	if blk < 0 || blk >= ud.dev.Blocks() {
+		return fmt.Errorf("userdisk: direct read of block %d: %w", blk, fsapi.ErrInvalid)
+	}
+	if b, ok := ud.cache.Peek(int64(blk)); ok {
+		if err := b.AwaitFill(); err == nil {
+			t.Charge(t.Model().Copy(len(buf)))
+			copy(buf, b.data)
+			return nil
+		}
+	}
+	t.Charge(t.Model().UserBlockSyscall)
+	t.Charge(t.Model().Copy(len(buf)))
+	return ud.dev.Read(t.Clk, blk, buf)
+}
+
+// BWriteDirect implements bentoks.Disk: a synchronous pwrite(2) — from
+// userspace there is no asynchronous submission, so the completion time
+// is simply the clock after the write. A stale cached copy is dropped.
+func (ud *UserDisk) BWriteDirect(t *kernel.Task, blk int, buf []byte) (int64, error) {
+	if blk < 0 || blk >= ud.dev.Blocks() {
+		return 0, fmt.Errorf("userdisk: direct write of block %d: %w", blk, fsapi.ErrInvalid)
+	}
+	ud.cache.Drop(int64(blk))
+	t.Charge(t.Model().UserBlockSyscall)
+	t.Charge(t.Model().Copy(len(buf)))
+	if err := ud.dev.Write(t.Clk, blk, buf); err != nil {
+		return 0, err
+	}
+	return t.Clk.NowNS(), nil
+}
+
 // WithBuffer implements bentoks.Disk.
 func (ud *UserDisk) WithBuffer(t *kernel.Task, blk int, fn func(bentoks.Buffer) error) error {
 	b, err := ud.BRead(t, blk)

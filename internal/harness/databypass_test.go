@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// TestStreamIncludesBypassStudyRow: with single-copy caching on (the
+// default), the streaming scenario publishes a Bento-nobypass study row
+// so every run carries the on/off comparison; turning the bypass off
+// globally removes the row (it would duplicate Bento).
+func TestStreamIncludesBypassStudyRow(t *testing.T) {
+	o := Quick()
+	o.Duration = 20 * time.Millisecond
+	o.MaxOps = 200
+	o.StreamMB = 2
+	o.StreamThreads = 2
+
+	_, recs, err := RunRecords(ExpStream, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]int)
+	for _, r := range recs {
+		seen[r.Variant]++
+	}
+	if seen[VariantBentoNoBypass] == 0 {
+		t.Fatalf("no %s study row in stream records: %v", VariantBentoNoBypass, seen)
+	}
+	if seen[VariantBentoNoBypass] != seen[VariantBento] {
+		t.Fatalf("study row has %d cells, Bento has %d — rows out of step",
+			seen[VariantBentoNoBypass], seen[VariantBento])
+	}
+
+	o.NoDataBypass = true
+	_, recs, err = RunRecords(ExpStream, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.Variant == VariantBentoNoBypass {
+			t.Fatalf("bypass globally off, but study row still present")
+		}
+	}
+}
+
+// TestNewTargetBypassVariants: the study variant mounts and serves I/O.
+func TestNewTargetBypassVariants(t *testing.T) {
+	o := Quick()
+	for _, v := range []string{VariantBento, VariantBentoNoBypass} {
+		tg, err := NewTarget(v, o)
+		if err != nil {
+			t.Fatalf("NewTarget(%s): %v", v, err)
+		}
+		task := tg.K.NewTask("probe")
+		if err := tg.M.WriteFile(task, "/probe", []byte("hello")); err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		got, err := tg.M.ReadFile(task, "/probe")
+		if err != nil || string(got) != "hello" {
+			t.Fatalf("%s: read-back %q, %v", v, got, err)
+		}
+	}
+}

@@ -35,6 +35,13 @@ const (
 	// present only when CacheShards > 1 so the published virtual-time
 	// cells stay exactly reproducible.
 	VariantBentoShard = "Bento-shard"
+
+	// VariantBentoNoBypass is Bento with the data bypass disabled: file
+	// contents are double-cached (page cache + buffer cache) and
+	// journaled, the seed's behaviour. It appears as a study row in the
+	// cache-sensitive streaming scenario whenever the bypass is globally
+	// on, so every run publishes the on/off comparison.
+	VariantBentoNoBypass = "Bento-nobypass"
 )
 
 // XV6Variants is the trio compared in every micro experiment.
@@ -70,7 +77,19 @@ type Options struct {
 	// flusher) on the in-kernel variants, reproducing the pre-iodaemon
 	// numbers. The FUSE variant never runs it either way.
 	NoIODaemon bool
+
+	// NoDataBypass disables single-copy data caching on the in-kernel
+	// variants: file contents go back through each file system's buffer
+	// cache (and journal), the seed's double-caching behaviour. The
+	// FUSE variant always keeps its user-level cache — a userspace
+	// daemon cannot DMA into kernel pages, which is part of the
+	// asymmetry the paper measures.
+	NoDataBypass bool
 }
+
+// dataBypass reports whether the in-kernel variants run the single-copy
+// data path.
+func (o Options) dataBypass() bool { return !o.NoDataBypass }
 
 // withShardRow appends the sharded-cache study row when enabled.
 func withShardRow(base []string, o Options) []string {
@@ -84,9 +103,18 @@ func withShardRow(base []string, o Options) []string {
 // trio plus the sharded-cache study row when enabled.
 func microVariants(o Options) []string { return withShardRow(XV6Variants, o) }
 
-// streamVariants reports the rows for the streaming scenario (ext4
-// included: the stream is also a macro-style workload).
-func streamVariants(o Options) []string { return withShardRow(AllVariants, o) }
+// streamVariants reports the rows for the streaming scenario: ext4
+// included (the stream is also a macro-style workload), plus the
+// bypass-off study row when single-copy caching is on — the cold
+// stream is the scenario where double-caching flatters the numbers
+// most, so the comparison is published next to the honest cells.
+func streamVariants(o Options) []string {
+	rows := withShardRow(AllVariants, o)
+	if o.dataBypass() {
+		rows = append(append([]string(nil), rows...), VariantBentoNoBypass)
+	}
+	return rows
+}
 
 // Defaults returns the options used for EXPERIMENTS.md.
 func Defaults() Options {
@@ -120,9 +148,10 @@ func Quick() Options {
 // NewTarget mkfs's a fresh device and mounts the named variant on it.
 // Every in-kernel variant gets the background I/O subsystem
 // (internal/iodaemon: read-ahead + write-back flusher) unless
-// o.NoIODaemon; the FUSE variant never does — a userspace file system
-// sits in front of neither mechanism, which is the asymmetry the paper
-// measures.
+// o.NoIODaemon, and single-copy data caching (file contents bypass the
+// buffer cache) unless o.NoDataBypass; the FUSE variant never gets
+// either — a userspace file system sits in front of none of these
+// mechanisms, which is the asymmetry the paper measures.
 func NewTarget(variant string, o Options) (filebench.Target, error) {
 	k := kernel.New(o.Model)
 	dev, err := blockdev.New(blockdev.Config{Blocks: o.DevBlocks, Model: o.Model})
@@ -139,13 +168,16 @@ func NewTarget(variant string, o Options) (filebench.Target, error) {
 	}
 
 	switch variant {
-	case VariantBento, VariantBentoShard:
+	case VariantBento, VariantBentoShard, VariantBentoNoBypass:
 		if _, err := layout.Mkfs(vclock.NewClock(), dev, o.NInodes); err != nil {
 			return filebench.Target{}, err
 		}
-		cfg := bentoimpl.Config{Policy: bentoimpl.PolicyWriteBack}
+		cfg := bentoimpl.Config{Policy: bentoimpl.PolicyWriteBack, DataBypass: o.dataBypass()}
 		if variant == VariantBentoShard {
 			cfg.CacheShards = o.CacheShards
+		}
+		if variant == VariantBentoNoBypass {
+			cfg.DataBypass = false
 		}
 		if err := bentoimpl.RegisterWith(k, "xv6", cfg); err != nil {
 			return filebench.Target{}, err
@@ -160,7 +192,7 @@ func NewTarget(variant string, o Options) (filebench.Target, error) {
 		if _, err := layout.Mkfs(vclock.NewClock(), dev, o.NInodes); err != nil {
 			return filebench.Target{}, err
 		}
-		if err := k.Register(vfsimpl.Type{}); err != nil {
+		if err := k.Register(vfsimpl.Type{Cfg: vfsimpl.Config{DataBypass: o.dataBypass()}}); err != nil {
 			return filebench.Target{}, err
 		}
 		m, err := k.Mount(task, "xv6vfs", "/", dev)
@@ -196,7 +228,7 @@ func NewTarget(variant string, o Options) (filebench.Target, error) {
 		// completed writes rather than FLUSH barriers (one durability
 		// discipline for all in-kernel file systems; only FUSE must pay
 		// fsync-to-FLUSH, having no other ordering primitive).
-		if err := k.Register(ext4.Type{Cfg: ext4.Config{NoBarriers: true}}); err != nil {
+		if err := k.Register(ext4.Type{Cfg: ext4.Config{NoBarriers: true, DataBypass: o.dataBypass()}}); err != nil {
 			return filebench.Target{}, err
 		}
 		m, err := k.Mount(task, "ext4", "/", dev)

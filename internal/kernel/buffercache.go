@@ -22,14 +22,21 @@ type BufferCache struct {
 
 	cache  *lru.Cache[*BufferHead]
 	writes atomic.Int64
+
+	directReads  atomic.Int64
+	directWrites atomic.Int64
 }
 
-// BufferCacheStats counts cache traffic.
+// BufferCacheStats counts cache traffic. DirectReads/DirectWrites count
+// the bypass path: block I/O that went straight between the device and
+// caller-owned pages without populating the cache.
 type BufferCacheStats struct {
-	Hits      int64
-	Misses    int64
-	Evictions int64
-	Writes    int64
+	Hits         int64
+	Misses       int64
+	Evictions    int64
+	Writes       int64
+	DirectReads  int64
+	DirectWrites int64
 }
 
 // BufferHead is one cached block, the analogue of struct buffer_head. The
@@ -81,10 +88,12 @@ func (bc *BufferCache) Device() *blockdev.Device { return bc.dev }
 func (bc *BufferCache) Stats() BufferCacheStats {
 	cs := bc.cache.Stats()
 	return BufferCacheStats{
-		Hits:      cs.Hits,
-		Misses:    cs.Misses,
-		Evictions: cs.Evictions,
-		Writes:    bc.writes.Load(),
+		Hits:         cs.Hits,
+		Misses:       cs.Misses,
+		Evictions:    cs.Evictions,
+		Writes:       bc.writes.Load(),
+		DirectReads:  bc.directReads.Load(),
+		DirectWrites: bc.directWrites.Load(),
 	}
 }
 
@@ -157,6 +166,79 @@ func (bc *BufferCache) SyncDirty(t *Task) error {
 	}
 	t.Clk.AdvanceTo(last)
 	return nil
+}
+
+// ReadDirect reads block blk from the device straight into buf (one
+// block) without inserting it into the cache — the data path of the
+// single-copy caching model: file contents live only in the page cache,
+// and the buffer cache keeps its capacity for metadata. Coherence
+// follows O_DIRECT: a resident copy, which can only be left over from
+// the block's earlier life as metadata, is flushed if dirty and then
+// invalidated, so the device read that follows observes every completed
+// write.
+func (bc *BufferCache) ReadDirect(t *Task, blk int, buf []byte) error {
+	if blk < 0 || blk >= bc.dev.Blocks() {
+		return fmt.Errorf("buffercache: direct read of block %d: %w", blk, fsapi.ErrInvalid)
+	}
+	t.Charge(bc.model.DirectReadSetup)
+	if err := bc.invalidate(t, blk); err != nil {
+		return err
+	}
+	bc.directReads.Add(1)
+	return bc.dev.Read(t.Clk, blk, buf)
+}
+
+// WriteDirect submits a write of buf to block blk without going through
+// the cache and returns the command's completion time; callers batch
+// several submits and AdvanceTo the latest, exploiting the device
+// queues exactly as the buffered SubmitWrite path does. Any resident
+// copy is invalidated first (its content predates this write). The
+// write is volatile until a device FLUSH, like every other write.
+func (bc *BufferCache) WriteDirect(t *Task, blk int, buf []byte) (completion int64, err error) {
+	if blk < 0 || blk >= bc.dev.Blocks() {
+		return 0, fmt.Errorf("buffercache: direct write of block %d: %w", blk, fsapi.ErrInvalid)
+	}
+	t.Charge(bc.model.DirectWriteSetup)
+	bc.cache.Drop(int64(blk))
+	done, err := bc.dev.Submit(t.Clk, blk, buf)
+	if err != nil {
+		return 0, err
+	}
+	bc.directWrites.Add(1)
+	return done, nil
+}
+
+// invalidate removes a resident copy of blk before direct I/O, writing
+// it out first when dirty so the device holds its latest content (the
+// generic_file_direct_write "flush then invalidate" discipline).
+func (bc *BufferCache) invalidate(t *Task, blk int) error {
+	b, ok := bc.cache.Peek(int64(blk))
+	if !ok {
+		return nil
+	}
+	if b.node.Dirty() {
+		if err := b.WriteSync(t); err != nil {
+			return err
+		}
+	}
+	bc.cache.Drop(int64(blk))
+	return nil
+}
+
+// DropClean evicts every clean, unreferenced buffer (the buffer-cache
+// half of drop_caches); dirty and referenced buffers stay. It reports
+// how many buffers were dropped.
+func (bc *BufferCache) DropClean() int { return bc.cache.DropClean() }
+
+// ResidentBlocks lists the cached block numbers in ascending order
+// (diagnostics; the data-bypass tests assert data blocks never appear).
+func (bc *BufferCache) ResidentBlocks() []int {
+	keys := bc.cache.Keys()
+	out := make([]int, len(keys))
+	for i, k := range keys {
+		out[i] = int(k)
+	}
+	return out
 }
 
 // InvalidateAll drops every buffer. Crash-recovery tests call it after a

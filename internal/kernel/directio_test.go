@@ -1,0 +1,137 @@
+package kernel
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestDirectIOBypassesCache is the contract of the single-copy data
+// path: ReadDirect and WriteDirect move blocks between the device and
+// caller-owned buffers without ever inserting them into the cache.
+func TestDirectIOBypassesCache(t *testing.T) {
+	bc, task := newTestCache(t, 64)
+
+	want := bytes.Repeat([]byte{0xAB}, bc.Device().BlockSize())
+	done, err := bc.WriteDirect(task, 7, want)
+	if err != nil {
+		t.Fatalf("WriteDirect: %v", err)
+	}
+	task.Clk.AdvanceTo(done)
+	if n := bc.Len(); n != 0 {
+		t.Fatalf("WriteDirect populated the cache: %d resident", n)
+	}
+
+	got := make([]byte, bc.Device().BlockSize())
+	if err := bc.ReadDirect(task, 7, got); err != nil {
+		t.Fatalf("ReadDirect: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("ReadDirect returned wrong content")
+	}
+	if n := bc.Len(); n != 0 {
+		t.Fatalf("ReadDirect populated the cache: %d resident", n)
+	}
+
+	st := bc.Stats()
+	if st.DirectReads != 1 || st.DirectWrites != 1 {
+		t.Fatalf("direct counters = %d/%d, want 1/1", st.DirectReads, st.DirectWrites)
+	}
+	if st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("direct I/O touched cache counters: %+v", st)
+	}
+}
+
+// TestWriteDirectInvalidatesResidentCopy: a block that once lived in the
+// cache (its earlier life as metadata) must not serve stale content
+// after a direct write repurposes it as data.
+func TestWriteDirectInvalidatesResidentCopy(t *testing.T) {
+	bc, task := newTestCache(t, 64)
+
+	getRelease(t, bc, task, 9) // resident clean copy (zeros)
+	if n := bc.Len(); n != 1 {
+		t.Fatalf("setup: %d resident, want 1", n)
+	}
+
+	want := bytes.Repeat([]byte{0x5C}, bc.Device().BlockSize())
+	done, err := bc.WriteDirect(task, 9, want)
+	if err != nil {
+		t.Fatalf("WriteDirect: %v", err)
+	}
+	task.Clk.AdvanceTo(done)
+	if n := bc.Len(); n != 0 {
+		t.Fatalf("stale copy survived the direct write: %d resident", n)
+	}
+
+	// A buffered read after the direct write sees the new content.
+	b, err := bc.Get(task, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b.Data(), want) {
+		t.Fatal("buffered read after direct write returned stale content")
+	}
+	if err := b.Release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadDirectFlushesDirtyResidentCopy: O_DIRECT semantics — a direct
+// read of a block with a dirty cached copy first writes that copy out,
+// so the device read observes every completed write.
+func TestReadDirectFlushesDirtyResidentCopy(t *testing.T) {
+	bc, task := newTestCache(t, 64)
+
+	b, err := bc.GetNoRead(task, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bytes.Repeat([]byte{0x77}, bc.Device().BlockSize())
+	copy(b.Data(), want)
+	b.MarkDirty()
+	if err := b.Release(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := make([]byte, bc.Device().BlockSize())
+	if err := bc.ReadDirect(task, 11, got); err != nil {
+		t.Fatalf("ReadDirect: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("ReadDirect missed the dirty cached copy")
+	}
+	if n := bc.Len(); n != 0 {
+		t.Fatalf("dirty copy still resident after direct read: %d", n)
+	}
+}
+
+// TestDropClean drops exactly the clean, unreferenced buffers — the
+// buffer-cache half of drop_caches.
+func TestDropClean(t *testing.T) {
+	bc, task := newTestCache(t, 64)
+
+	for blk := 0; blk < 4; blk++ {
+		getRelease(t, bc, task, blk)
+	}
+	dirty, err := bc.GetNoRead(task, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty.MarkDirty()
+	if err := dirty.Release(); err != nil {
+		t.Fatal(err)
+	}
+	pinned, err := bc.Get(task, 5) // still referenced
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if dropped := bc.DropClean(); dropped != 4 {
+		t.Fatalf("DropClean dropped %d, want 4", dropped)
+	}
+	if got := bc.ResidentBlocks(); len(got) != 2 || got[0] != 4 || got[1] != 5 {
+		t.Fatalf("resident after DropClean = %v, want [4 5]", got)
+	}
+	if err := pinned.Release(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -188,11 +188,25 @@ func (m *Mount) SwapFS(fs FileSystem) {
 	m.fs = fs
 }
 
-// DropCaches evicts all clean cached pages and dentries (like
-// /proc/sys/vm/drop_caches); dirty state is untouched. Benchmarks use it
-// to measure cold paths. Vnodes are visited in ascending inode order —
-// the drops commute, but the deterministic-replay contract is simpler to
-// audit when no path ever walks a Go map in iteration order.
+// BlockCacheDropper is the optional interface a file system implements
+// when its buffer cache should be emptied by DropCaches along with the
+// page cache: clean, unreferenced blocks are dropped, dirty ones stay.
+// The in-kernel file systems implement it; the FUSE daemon's user-level
+// block cache deliberately does not — /proc/sys/vm/drop_caches cannot
+// reach a userspace process's memory.
+type BlockCacheDropper interface {
+	DropCleanBlocks() int
+}
+
+// DropCaches evicts all clean cached pages, dentries, and (for file
+// systems implementing BlockCacheDropper) clean buffer-cache blocks,
+// like /proc/sys/vm/drop_caches; dirty state is untouched. Benchmarks
+// use it to measure cold paths: with the data bypass the buffer cache
+// holds only metadata, and dropping it too means a "cold" pass re-reads
+// inodes and indirect blocks from the device instead of a warm cache.
+// Vnodes are visited in ascending inode order — the drops commute, but
+// the deterministic-replay contract is simpler to audit when no path
+// ever walks a Go map in iteration order.
 func (m *Mount) DropCaches() {
 	m.mu.Lock()
 	m.dcache = make(map[dkey]fsapi.Ino)
@@ -207,6 +221,9 @@ func (m *Mount) DropCaches() {
 		vn.ra.Reset()
 		vn.raMu.Unlock()
 		m.totalPages.Add(-int64(dropped))
+	}
+	if d, ok := m.fs.(BlockCacheDropper); ok {
+		d.DropCleanBlocks()
 	}
 }
 

@@ -124,6 +124,50 @@ func (c *Cache[E]) ClearDirty(e E) {
 	s.mu.Unlock()
 }
 
+// Peek returns the resident entry for key without taking a reference or
+// touching recency — a coherence probe for the direct-I/O path. The
+// caller gets no pin: the entry may be evicted concurrently, so it must
+// only read state that stays valid after unlinking (the data slice, the
+// fill state).
+func (c *Cache[E]) Peek(key int64) (e E, ok bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	e, ok = s.core.Peek(key)
+	s.mu.Unlock()
+	return e, ok
+}
+
+// DropClean removes every clean, unpinned entry across all shards
+// (drop_caches for a block cache) and reports how many were dropped.
+// Dirty or referenced entries stay resident.
+func (c *Cache[E]) DropClean() int {
+	dropped := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		dropped += s.core.DropClean()
+		s.mu.Unlock()
+	}
+	return dropped
+}
+
+// Keys snapshots every resident key in ascending order (diagnostics and
+// cache-residency tests).
+func (c *Cache[E]) Keys() []int64 {
+	var out []int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.core.ForEach(func(key int64, _ E) bool {
+			out = append(out, key)
+			return true
+		})
+		s.mu.Unlock()
+	}
+	slices.Sort(out)
+	return out
+}
+
 // Drop unconditionally removes the entry for key (read-error path),
 // regardless of references or dirtiness. It does not count as an
 // eviction.

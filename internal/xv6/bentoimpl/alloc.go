@@ -20,9 +20,14 @@ type allocator struct {
 	inodeRotor uint32 // next inum to consider
 }
 
-// balloc allocates a zeroed data block within the current transaction,
-// scanning the bitmap from the rotor hint and wrapping once.
-func (fs *FS) balloc(t *kernel.Task) (uint32, error) {
+// balloc allocates a block within the current transaction, scanning the
+// bitmap from the rotor hint and wrapping once. Metadata blocks (and
+// every block when DataBypass is off) are zeroed through the log; a
+// data leaf under the bypass is not — its allocating writer overwrites
+// the full block via the direct path before the size extends over it,
+// and journaling a zero here would plant a cached copy whose deferred
+// install could clobber that direct write.
+func (fs *FS) balloc(t *kernel.Task, dataLeaf bool) (uint32, error) {
 	fs.alloc.blockMu.Lock()
 	defer fs.alloc.blockMu.Unlock()
 	sb := &fs.super
@@ -43,8 +48,10 @@ func (fs *FS) balloc(t *kernel.Task) (uint32, error) {
 	if blk == 0 {
 		return 0, fsapi.ErrNoSpace
 	}
-	if err := fs.bzero(t, blk); err != nil {
-		return 0, err
+	if !(dataLeaf && fs.cfg.DataBypass) {
+		if err := fs.bzero(t, blk); err != nil {
+			return 0, err
+		}
 	}
 	fs.alloc.blockRotor = blk + 1
 	return blk, nil

@@ -31,6 +31,15 @@ type Config struct {
 	// shards (<=1: a single exact-LRU shard; see
 	// kernel.NewBufferCacheSharded).
 	CacheShards int
+	// DataBypass routes regular-file contents around the buffer cache:
+	// data blocks move between the device and the pages above via
+	// BReadDirect/BWriteDirect and are neither cached here nor journaled,
+	// so each byte of file data is cached exactly once (in the page
+	// cache) and the log carries metadata only. Superblocks, bitmaps,
+	// inodes, directories, indirect blocks, and the log itself keep
+	// going through sb_bread. Off, the original journal-everything xv6
+	// discipline applies (the crash-recovery tests run that way).
+	DataBypass bool
 }
 
 // FS is the xv6 file system over the Bento file-operations API.
@@ -112,6 +121,14 @@ func (fs *FS) SyncFS(t *kernel.Task) error { return fs.log.ForceCommit(t) }
 // take up the majority of the runtime").
 func (fs *FS) Fsync(t *kernel.Task, ino fsapi.Ino, dataOnly bool) error {
 	return fs.log.ForceCommit(t)
+}
+
+// dataDirect reports whether ip's contents take the buffer-cache
+// bypass: regular-file data only, and only when the mount runs with
+// DataBypass. Directory contents are metadata and stay on sb_bread.
+// Caller holds the inode lock (din.Type is stable while locked).
+func (fs *FS) dataDirect(ip *Inode) bool {
+	return fs.cfg.DataBypass && ip.din.Type == layout.TypeFile
 }
 
 // iputOutside drops an inode reference outside any transaction. The
@@ -197,7 +214,7 @@ func (fs *FS) SetAttr(t *kernel.Task, ino fsapi.Ino, size int64) error {
 		firstDead := (size + layout.BlockSize - 1) / layout.BlockSize
 		lastOld := (old + layout.BlockSize - 1) / layout.BlockSize
 		for bn := firstDead; bn < lastOld; bn++ {
-			blk, err := ip.bmap(t, uint64(bn), false)
+			blk, _, err := ip.bmap(t, uint64(bn), false)
 			if err != nil {
 				return err
 			}
@@ -212,8 +229,21 @@ func (fs *FS) SetAttr(t *kernel.Task, ino fsapi.Ino, size int64) error {
 			}
 		}
 		if size%layout.BlockSize != 0 {
-			if blk, err := ip.bmap(t, uint64(size/layout.BlockSize), false); err != nil {
+			if blk, _, err := ip.bmap(t, uint64(size/layout.BlockSize), false); err != nil {
 				return err
+			} else if blk != 0 && fs.dataDirect(ip) {
+				// Direct read-modify-write: the partial block's tail is
+				// zeroed on the device, never through the cache or log.
+				tail := make([]byte, layout.BlockSize)
+				if err := fs.sb.BReadDirect(t, int(blk), tail); err != nil {
+					return err
+				}
+				clear(tail[size%layout.BlockSize:])
+				done, err := fs.sb.BWriteDirect(t, int(blk), tail)
+				if err != nil {
+					return err
+				}
+				t.Clk.AdvanceTo(done)
 			} else if blk != 0 {
 				bh, err := fs.sb.BRead(t, int(blk))
 				if err != nil {

@@ -150,95 +150,104 @@ func (ip *Inode) iput(t *kernel.Task, hasTxn bool) error {
 
 // bmap returns the disk block backing file block bn, allocating (within
 // the current transaction) when alloc is set. Returns 0 for a hole when
-// not allocating. Caller holds the inode lock.
-func (ip *Inode) bmap(t *kernel.Task, bn uint64, alloc bool) (uint32, error) {
+// not allocating. fresh reports that the returned leaf was allocated by
+// this call — under the data bypass a fresh leaf carries no zeroed
+// content, so the writer must supply the full block. Caller holds the
+// inode lock.
+func (ip *Inode) bmap(t *kernel.Task, bn uint64, alloc bool) (blk uint32, fresh bool, err error) {
 	fs := ip.fs
 	if bn >= layout.MaxFileBlocks {
-		return 0, fsapi.ErrFileTooBig
+		return 0, false, fsapi.ErrFileTooBig
 	}
+	dataLeaf := fs.dataDirect(ip)
 
 	// Direct.
 	if bn < layout.NDirect {
 		addr := ip.din.Addrs[bn]
 		if addr == 0 && alloc {
-			a, err := fs.balloc(t)
+			a, err := fs.balloc(t, dataLeaf)
 			if err != nil {
-				return 0, err
+				return 0, false, err
 			}
 			ip.din.Addrs[bn] = a
 			if err := ip.iupdate(t); err != nil {
-				return 0, err
+				return 0, false, err
 			}
-			addr = a
+			return a, true, nil
 		}
-		return addr, nil
+		return addr, false, nil
 	}
 
 	// Indirect.
 	if bn < layout.NDirect+layout.NIndirect {
 		idx := int(bn - layout.NDirect)
-		return ip.mapThrough(t, &ip.din.Addrs[layout.IndirectSlot], []int{idx}, alloc)
+		return ip.mapThrough(t, &ip.din.Addrs[layout.IndirectSlot], []int{idx}, alloc, dataLeaf)
 	}
 
 	// Double indirect.
 	idx := bn - layout.NDirect - layout.NIndirect
 	return ip.mapThrough(t, &ip.din.Addrs[layout.DIndirectSlot],
-		[]int{int(idx / layout.NIndirect), int(idx % layout.NIndirect)}, alloc)
+		[]int{int(idx / layout.NIndirect), int(idx % layout.NIndirect)}, alloc, dataLeaf)
 }
 
 // mapThrough walks (allocating as needed) a chain of indirect blocks
-// selected by idxs, starting from the pointer slot *slot.
-func (ip *Inode) mapThrough(t *kernel.Task, slot *uint32, idxs []int, alloc bool) (uint32, error) {
+// selected by idxs, starting from the pointer slot *slot. The indirect
+// blocks along the chain are metadata — always journaled and zeroed —
+// only the final level's target is the data leaf.
+func (ip *Inode) mapThrough(t *kernel.Task, slot *uint32, idxs []int, alloc, dataLeaf bool) (uint32, bool, error) {
 	fs := ip.fs
 	cur := *slot
 	if cur == 0 {
 		if !alloc {
-			return 0, nil
+			return 0, false, nil
 		}
-		a, err := fs.balloc(t)
+		a, err := fs.balloc(t, false)
 		if err != nil {
-			return 0, err
+			return 0, false, err
 		}
 		*slot = a
 		if err := ip.iupdate(t); err != nil {
-			return 0, err
+			return 0, false, err
 		}
 		cur = a
 	}
-	for _, idx := range idxs {
+	fresh := false
+	for lvl, idx := range idxs {
+		leaf := lvl == len(idxs)-1
 		bh, err := fs.sb.BRead(t, int(cur))
 		if err != nil {
-			return 0, err
+			return 0, false, err
 		}
 		data, err := bh.Data()
 		if err != nil {
 			_ = bh.Release()
-			return 0, err
+			return 0, false, err
 		}
 		next := leU32(data, 4*idx)
 		if next == 0 {
 			if !alloc {
 				_ = bh.Release()
-				return 0, nil
+				return 0, false, nil
 			}
-			a, err := fs.balloc(t)
+			a, err := fs.balloc(t, leaf && dataLeaf)
 			if err != nil {
 				_ = bh.Release()
-				return 0, err
+				return 0, false, err
 			}
 			putU32(data, 4*idx, a)
 			if err := fs.log.Write(t, bh); err != nil {
 				_ = bh.Release()
-				return 0, err
+				return 0, false, err
 			}
 			next = a
+			fresh = leaf
 		}
 		if err := bh.Release(); err != nil {
-			return 0, err
+			return 0, false, err
 		}
 		cur = next
 	}
-	return cur, nil
+	return cur, fresh, nil
 }
 
 // clearMapping zeroes the pointer that maps file block bn (after the
@@ -361,8 +370,11 @@ func (fs *FS) freeIndirect(t *kernel.Task, blk uint32, depth int) error {
 	return fs.bfree(t, blk)
 }
 
-// readi reads up to len(buf) bytes at off from the file. Caller holds the
-// inode lock.
+// readi reads up to len(buf) bytes at off from the file. Regular-file
+// data under the bypass is read from the device straight into the
+// caller's buffer (which, on the kernel read path, is the page-cache
+// page itself); everything else goes through the buffer cache. Caller
+// holds the inode lock.
 func (ip *Inode) readi(t *kernel.Task, off int64, buf []byte) (int, error) {
 	if off < 0 {
 		return 0, fsapi.ErrInvalid
@@ -375,6 +387,8 @@ func (ip *Inode) readi(t *kernel.Task, off int64, buf []byte) (int, error) {
 	if off+want > size {
 		want = size - off
 	}
+	direct := ip.fs.dataDirect(ip)
+	var bounce []byte
 	var done int64
 	for done < want {
 		bn := uint64((off + done) / layout.BlockSize)
@@ -383,14 +397,29 @@ func (ip *Inode) readi(t *kernel.Task, off int64, buf []byte) (int, error) {
 		if n > want-done {
 			n = want - done
 		}
-		blk, err := ip.bmap(t, bn, false)
+		blk, _, err := ip.bmap(t, bn, false)
 		if err != nil {
 			return int(done), err
 		}
-		if blk == 0 {
+		switch {
+		case blk == 0:
 			// Hole: reads as zeros.
 			clear(buf[done : done+n])
-		} else {
+		case direct && bo == 0 && n == layout.BlockSize:
+			if err := ip.fs.sb.BReadDirect(t, int(blk), buf[done:done+n]); err != nil {
+				return int(done), err
+			}
+		case direct:
+			// Sub-block request: direct I/O is block-granular, so read
+			// the whole block into a bounce page and copy the range out.
+			if bounce == nil {
+				bounce = make([]byte, layout.BlockSize)
+			}
+			if err := ip.fs.sb.BReadDirect(t, int(blk), bounce); err != nil {
+				return int(done), err
+			}
+			copy(buf[done:done+n], bounce[bo:bo+n])
+		default:
 			err := ip.fs.sb.WithBuffer(t, int(blk), func(bh bentoksBuffer) error {
 				data, err := bh.Data()
 				if err != nil {
@@ -408,14 +437,26 @@ func (ip *Inode) readi(t *kernel.Task, off int64, buf []byte) (int, error) {
 	return int(done), nil
 }
 
-// writei writes buf at off, growing the file as needed. Caller holds the
-// inode lock and a transaction sized for the write (see writeChunkBlocks).
+// writei writes buf at off, growing the file as needed. Regular-file
+// data under the bypass is submitted straight to the device — batched
+// across the loop so consecutive blocks overlap on the device queues —
+// and never journaled; metadata updates (bitmap, indirects, inode) stay
+// in the transaction. Caller holds the inode lock and a transaction
+// sized for the write (see writeChunkBlocks).
 func (ip *Inode) writei(t *kernel.Task, off int64, buf []byte) (int, error) {
 	if off < 0 {
 		return 0, fsapi.ErrInvalid
 	}
 	if off+int64(len(buf)) > layout.MaxFileSize {
 		return 0, fsapi.ErrFileTooBig
+	}
+	direct := ip.fs.dataDirect(ip)
+	var bounce []byte
+	var batchEnd int64 // latest completion of batched direct submits
+	wait := func() {
+		if batchEnd != 0 {
+			t.Clk.AdvanceTo(batchEnd)
+		}
 	}
 	var done int64
 	want := int64(len(buf))
@@ -426,9 +467,43 @@ func (ip *Inode) writei(t *kernel.Task, off int64, buf []byte) (int, error) {
 		if n > want-done {
 			n = want - done
 		}
-		blk, err := ip.bmap(t, bn, true)
+		blk, fresh, err := ip.bmap(t, bn, true)
 		if err != nil {
+			wait()
 			return int(done), err
+		}
+		if direct {
+			src := buf[done : done+n]
+			if bo != 0 || n != layout.BlockSize {
+				// Sub-block write: merge with the block's current
+				// content. A block holding no committed file bytes —
+				// freshly allocated, or mapped wholly at/beyond EOF
+				// (a leaf left over from a failed direct write, which
+				// skipped balloc's zeroing) — merges against zeros:
+				// the device holds whatever the block's previous life
+				// left there, never file content.
+				if bounce == nil {
+					bounce = make([]byte, layout.BlockSize)
+				}
+				if fresh || int64(bn)*layout.BlockSize >= int64(ip.din.Size) {
+					clear(bounce)
+				} else if err := ip.fs.sb.BReadDirect(t, int(blk), bounce); err != nil {
+					wait()
+					return int(done), err
+				}
+				copy(bounce[bo:bo+n], src)
+				src = bounce
+			}
+			completion, err := ip.fs.sb.BWriteDirect(t, int(blk), src)
+			if err != nil {
+				wait()
+				return int(done), err
+			}
+			if completion > batchEnd {
+				batchEnd = completion
+			}
+			done += n
+			continue
 		}
 		var bh bentoksBuffer
 		if n == layout.BlockSize {
@@ -454,6 +529,7 @@ func (ip *Inode) writei(t *kernel.Task, off int64, buf []byte) (int, error) {
 		}
 		done += n
 	}
+	wait()
 	if end := off + done; end > int64(ip.din.Size) {
 		ip.din.Size = uint64(end)
 	}

@@ -36,6 +36,12 @@ type Config struct {
 	// CacheShards splits the buffer cache over this many shards (<=1: a
 	// single exact-LRU shard; see kernel.NewBufferCacheSharded).
 	CacheShards int
+	// DataBypass routes regular-file contents around the buffer cache
+	// and the log: data blocks move directly between the device and the
+	// pages above, so file data is cached once (in the page cache) and
+	// the log journals metadata only. Directories, bitmaps, inodes,
+	// indirect blocks, and the log region keep using the buffer cache.
+	DataBypass bool
 }
 
 // Name implements kernel.FileSystemType.
@@ -111,7 +117,26 @@ type FS struct {
 	inodes map[uint32]*inode
 }
 
-var _ kernel.FileSystem = (*FS)(nil)
+var (
+	_ kernel.FileSystem        = (*FS)(nil)
+	_ kernel.BlockCacheDropper = (*FS)(nil)
+)
+
+// BufferCache exposes the metadata cache (tests and diagnostics).
+func (fs *FS) BufferCache() *kernel.BufferCache { return fs.bc }
+
+// Super returns the parsed superblock geometry.
+func (fs *FS) Super() layout.Superblock { return fs.super }
+
+// DropCleanBlocks implements kernel.BlockCacheDropper (drop_caches).
+func (fs *FS) DropCleanBlocks() int { return fs.bc.DropClean() }
+
+// dataDirect reports whether ip's contents take the buffer-cache
+// bypass: regular-file data only, with DataBypass configured. Caller
+// holds ip.mu.
+func (fs *FS) dataDirect(ip *inode) bool {
+	return fs.cfg.DataBypass && ip.din.Type == layout.TypeFile
+}
 
 // Commits reports committed transactions (benchmark stat).
 func (fs *FS) Commits() int64 {
@@ -312,7 +337,12 @@ func (fs *FS) forceCommit(t *kernel.Task) error {
 
 // --- allocation ---
 
-func (fs *FS) balloc(t *kernel.Task) (uint32, error) {
+// balloc allocates a block within the current transaction. A data leaf
+// under the bypass skips the journaled zeroing: its allocating writer
+// overwrites the full block via the direct path before the size extends
+// over it, and a journaled zero's deferred install could clobber that
+// direct write.
+func (fs *FS) balloc(t *kernel.Task, dataLeaf bool) (uint32, error) {
 	fs.allocMu.Lock()
 	defer fs.allocMu.Unlock()
 	sb := &fs.super
@@ -341,6 +371,10 @@ func (fs *FS) balloc(t *kernel.Task) (uint32, error) {
 						return 0, err
 					}
 					_ = bh.Release()
+					if dataLeaf && fs.cfg.DataBypass {
+						fs.blockRotor = cur + 1
+						return cur, nil
+					}
 					// Zero the block.
 					zb, err := fs.bc.GetNoRead(t, int(cur))
 					if err != nil {
@@ -520,24 +554,28 @@ func (fs *FS) iput(t *kernel.Task, ip *inode, hasTxn bool) error {
 	return nil
 }
 
-// bmap maps file block bn, allocating when alloc is set. Caller holds
-// ip.mu and a transaction when allocating.
-func (fs *FS) bmap(t *kernel.Task, ip *inode, bn uint64, alloc bool) (uint32, error) {
+// bmap maps file block bn, allocating when alloc is set. fresh reports
+// that the returned leaf was allocated by this call (under the bypass a
+// fresh data leaf carries no zeroed content — the writer supplies the
+// full block). Caller holds ip.mu and a transaction when allocating.
+func (fs *FS) bmap(t *kernel.Task, ip *inode, bn uint64, alloc bool) (blk uint32, fresh bool, err error) {
 	if bn >= layout.MaxFileBlocks {
-		return 0, fsapi.ErrFileTooBig
+		return 0, false, fsapi.ErrFileTooBig
 	}
+	dataLeaf := fs.dataDirect(ip)
 	if bn < layout.NDirect {
 		if ip.din.Addrs[bn] == 0 && alloc {
-			a, err := fs.balloc(t)
+			a, err := fs.balloc(t, dataLeaf)
 			if err != nil {
-				return 0, err
+				return 0, false, err
 			}
 			ip.din.Addrs[bn] = a
 			if err := fs.iupdate(t, ip); err != nil {
-				return 0, err
+				return 0, false, err
 			}
+			return a, true, nil
 		}
-		return ip.din.Addrs[bn], nil
+		return ip.din.Addrs[bn], false, nil
 	}
 	var idxs []int
 	var slot *uint32
@@ -552,46 +590,48 @@ func (fs *FS) bmap(t *kernel.Task, ip *inode, bn uint64, alloc bool) (uint32, er
 	cur := *slot
 	if cur == 0 {
 		if !alloc {
-			return 0, nil
+			return 0, false, nil
 		}
-		a, err := fs.balloc(t)
+		a, err := fs.balloc(t, false)
 		if err != nil {
-			return 0, err
+			return 0, false, err
 		}
 		*slot = a
 		if err := fs.iupdate(t, ip); err != nil {
-			return 0, err
+			return 0, false, err
 		}
 		cur = a
 	}
-	for _, idx := range idxs {
+	for lvl, idx := range idxs {
+		leaf := lvl == len(idxs)-1
 		bh, err := fs.bc.Get(t, int(cur))
 		if err != nil {
-			return 0, err
+			return 0, false, err
 		}
 		data := bh.Data()
 		next := u32(data, 4*idx)
 		if next == 0 {
 			if !alloc {
 				_ = bh.Release()
-				return 0, nil
+				return 0, false, nil
 			}
-			a, err := fs.balloc(t)
+			a, err := fs.balloc(t, leaf && dataLeaf)
 			if err != nil {
 				_ = bh.Release()
-				return 0, err
+				return 0, false, err
 			}
 			pu32(data, 4*idx, a)
 			if err := fs.logWrite(t, bh); err != nil {
 				_ = bh.Release()
-				return 0, err
+				return 0, false, err
 			}
 			next = a
+			fresh = leaf
 		}
 		_ = bh.Release()
 		cur = next
 	}
-	return cur, nil
+	return cur, fresh, nil
 }
 
 func (fs *FS) itrunc(t *kernel.Task, ip *inode) error {
@@ -659,18 +699,34 @@ func (fs *FS) readi(t *kernel.Task, ip *inode, off int64, buf []byte) (int, erro
 	if off+want > size {
 		want = size - off
 	}
+	direct := fs.dataDirect(ip)
+	var bounce []byte
 	var done int64
 	for done < want {
 		bn := uint64((off + done) / layout.BlockSize)
 		bo := (off + done) % layout.BlockSize
 		n := min64(int64(layout.BlockSize)-bo, want-done)
-		blk, err := fs.bmap(t, ip, bn, false)
+		blk, _, err := fs.bmap(t, ip, bn, false)
 		if err != nil {
 			return int(done), err
 		}
-		if blk == 0 {
+		switch {
+		case blk == 0:
 			clear(buf[done : done+n])
-		} else {
+		case direct && bo == 0 && n == layout.BlockSize:
+			// Device to page, no buffer-cache insertion.
+			if err := fs.bc.ReadDirect(t, int(blk), buf[done:done+n]); err != nil {
+				return int(done), err
+			}
+		case direct:
+			if bounce == nil {
+				bounce = make([]byte, layout.BlockSize)
+			}
+			if err := fs.bc.ReadDirect(t, int(blk), bounce); err != nil {
+				return int(done), err
+			}
+			copy(buf[done:done+n], bounce[bo:bo+n])
+		default:
 			bh, err := fs.bc.Get(t, int(blk))
 			if err != nil {
 				return int(done), err
@@ -687,15 +743,54 @@ func (fs *FS) writei(t *kernel.Task, ip *inode, off int64, buf []byte) (int, err
 	if off < 0 || off+int64(len(buf)) > layout.MaxFileSize {
 		return 0, fsapi.ErrFileTooBig
 	}
+	direct := fs.dataDirect(ip)
+	var bounce []byte
+	var batchEnd int64 // latest completion of batched direct submits
+	wait := func() {
+		if batchEnd != 0 {
+			t.Clk.AdvanceTo(batchEnd)
+		}
+	}
 	var done int64
 	want := int64(len(buf))
 	for done < want {
 		bn := uint64((off + done) / layout.BlockSize)
 		bo := (off + done) % layout.BlockSize
 		n := min64(int64(layout.BlockSize)-bo, want-done)
-		blk, err := fs.bmap(t, ip, bn, true)
+		blk, fresh, err := fs.bmap(t, ip, bn, true)
 		if err != nil {
+			wait()
 			return int(done), err
+		}
+		if direct {
+			src := buf[done : done+n]
+			if bo != 0 || n != layout.BlockSize {
+				// Merge base: zeros for any block holding no committed
+				// file bytes — fresh, or mapped wholly at/beyond EOF (a
+				// leaf orphaned by a failed direct write, which skipped
+				// balloc's zeroing); device content otherwise.
+				if bounce == nil {
+					bounce = make([]byte, layout.BlockSize)
+				}
+				if fresh || int64(bn)*layout.BlockSize >= int64(ip.din.Size) {
+					clear(bounce)
+				} else if err := fs.bc.ReadDirect(t, int(blk), bounce); err != nil {
+					wait()
+					return int(done), err
+				}
+				copy(bounce[bo:bo+n], src)
+				src = bounce
+			}
+			completion, err := fs.bc.WriteDirect(t, int(blk), src)
+			if err != nil {
+				wait()
+				return int(done), err
+			}
+			if completion > batchEnd {
+				batchEnd = completion
+			}
+			done += n
+			continue
 		}
 		var bh *kernel.BufferHead
 		if n == layout.BlockSize {
@@ -714,6 +809,7 @@ func (fs *FS) writei(t *kernel.Task, ip *inode, off int64, buf []byte) (int, err
 		_ = bh.Release()
 		done += n
 	}
+	wait()
 	if end := off + done; end > int64(ip.din.Size) {
 		ip.din.Size = uint64(end)
 	}
