@@ -19,7 +19,12 @@ import (
 )
 
 // benchOpts uses reduced scale so `go test -bench=.` completes in a few
-// minutes; cmd/bentobench runs the full-scale version.
+// minutes; cmd/bentobench runs the full-scale version. Parallel is left
+// at its default (runtime.NumCPU()): each experiment's cells execute on
+// a host-worker pool, which shortens the wall-clock of a -bench run
+// without changing any reported virtual-time metric (see
+// harness.CellSpec — cells are isolated simulations, so host
+// parallelism is outside the determinism contract).
 func benchOpts() harness.Options { return harness.Quick() }
 
 // reportCells publishes each variant's primary metric for a run.

@@ -104,14 +104,24 @@ type Delta struct {
 	Ratio    float64 // New/Old
 }
 
+// HostCell is one fresh cell's host wall-clock (present only when the
+// fresh run was produced with `bentobench -hostns`). Host time is
+// informational — it never gates — but surfacing it in the step summary
+// makes harness-speed regressions visible the day they land.
+type HostCell struct {
+	Key cellKey
+	NS  int64
+}
+
 // Report is the outcome of comparing two record sets.
 type Report struct {
 	Tol          float64
-	Regressions  []Delta   // beyond tolerance: fail
-	Improvements []Delta   // beyond tolerance the other way: informational
-	Drifts       []Delta   // within tolerance but not identical: informational
-	Missing      []cellKey // in baseline, absent from fresh: fail
-	Added        []cellKey // new cells: informational
+	Regressions  []Delta    // beyond tolerance: fail
+	Improvements []Delta    // beyond tolerance the other way: informational
+	Drifts       []Delta    // within tolerance but not identical: informational
+	Missing      []cellKey  // in baseline, absent from fresh: fail
+	Added        []cellKey  // new cells: informational
+	HostTimes    []HostCell // fresh-run host wall-clock per cell, record order; empty without -hostns
 	Compared     int
 }
 
@@ -176,6 +186,9 @@ func Compare(baseline, fresh []harness.Record, tol float64) Report {
 		k := cellKey{r.Experiment, r.Variant, r.Cell}
 		if !seen[k] {
 			rep.Added = append(rep.Added, k)
+		}
+		if r.HostNS > 0 {
+			rep.HostTimes = append(rep.HostTimes, HostCell{Key: k, NS: r.HostNS})
 		}
 	}
 	sortDeltas := func(ds []Delta) {
@@ -263,6 +276,23 @@ func (r Report) Markdown() string {
 			fmt.Fprintf(&b, "- `%s`\n", k)
 		}
 		b.WriteByte('\n')
+	}
+	if len(r.HostTimes) > 0 {
+		var total int64
+		for _, h := range r.HostTimes {
+			total += h.NS
+		}
+		// Informational, never gating: virtual-time cells are the perf
+		// contract; host time tracks the harness's own speed (and varies
+		// with -parallel and machine). Collapsed so the table doesn't
+		// dominate the summary page.
+		fmt.Fprintf(&b, "<details><summary>Host time per cell (informational) — Σ %.1fs over %d cells</summary>\n\n",
+			float64(total)/1e9, len(r.HostTimes))
+		b.WriteString("| cell | host ms |\n|---|---:|\n")
+		for _, h := range r.HostTimes {
+			fmt.Fprintf(&b, "| `%s` | %.1f |\n", h.Key, float64(h.NS)/1e6)
+		}
+		b.WriteString("\n</details>\n\n")
 	}
 	return b.String()
 }

@@ -7,9 +7,15 @@
 //	bentobench -quick           # reduced scale (seconds, not minutes)
 //	bentobench -dur 200ms       # override the virtual measurement window
 //	bentobench -json            # machine-readable cells on stdout (tables go to stderr)
+//	bentobench -parallel 4      # host workers for cell execution (default NumCPU; 1 = sequential)
+//	bentobench -hostns          # include per-cell host wall-clock in -json (not byte-stable)
 //	bentobench -shards 8        # add the sharded-buffer-cache Bento row
 //	bentobench -noiod           # disable background I/O (read-ahead + flusher)
 //	bentobench -databypass=false # re-enable data double-caching (seed behaviour)
+//
+// Cells of every selected experiment run on one shared host-worker pool;
+// results are assembled in plan order, so the -json output is
+// byte-identical at any -parallel setting.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -28,6 +35,8 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced scale for fast runs")
 	dur := flag.Duration("dur", 0, "virtual measurement window per workload (0 = default)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable results (one JSON array) on stdout; tables move to stderr")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "benchmark cells to run concurrently on the host (1 = sequential; output is identical either way)")
+	hostns := flag.Bool("hostns", false, "include per-cell host wall-clock (host_ns) in -json records; informational and not byte-stable across runs")
 	shards := flag.Int("shards", 0, "buffer-cache shards for the Bento-shard study row (>1 to enable)")
 	noiod := flag.Bool("noiod", false, "disable the background I/O subsystem on the in-kernel variants")
 	databypass := flag.Bool("databypass", true, "single-copy data caching: file contents bypass the buffer cache on the in-kernel variants (false restores the seed's double-caching)")
@@ -40,6 +49,7 @@ func main() {
 	if *dur > 0 {
 		o.Duration = *dur
 	}
+	o.Parallel = *parallel
 	o.CacheShards = *shards
 	o.NoIODaemon = *noiod
 	o.NoDataBypass = !*databypass
@@ -53,18 +63,24 @@ func main() {
 	if *exp != "all" {
 		ids = []string{*exp}
 	}
-	records := []harness.Record{} // non-nil: -json always prints an array
-	for _, id := range ids {
-		start := time.Now()
-		out, recs, err := harness.RunRecords(id, o)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "bentobench: %s: %v\n", id, err)
-			os.Exit(1)
-		}
-		records = append(records, recs...)
-		fmt.Fprintf(tables, "== %s (host time %v) ==\n%s\n", id, time.Since(start).Round(time.Millisecond), out)
+	start := time.Now()
+	results, err := harness.RunMatrix(ids, o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bentobench: %v\n", err)
+		os.Exit(1)
 	}
+	records := []harness.Record{} // non-nil: -json always prints an array
+	for _, er := range results {
+		records = append(records, er.Records...)
+		fmt.Fprintf(tables, "== %s (cells host time %v) ==\n%s\n",
+			er.ID, time.Duration(er.CellHostNS).Round(time.Millisecond), er.Text)
+	}
+	fmt.Fprintf(tables, "matrix wall-clock %v (-parallel %d)\n",
+		time.Since(start).Round(time.Millisecond), *parallel)
 	if *jsonOut {
+		if !*hostns {
+			harness.StripHostNS(records)
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(records); err != nil {

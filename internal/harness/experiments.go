@@ -30,6 +30,46 @@ const (
 // the streaming scenario.
 var AllExperiments = []string{ExpTable1, ExpTable2, ExpFig2, ExpFig3, ExpFig4, ExpTable4, ExpTable5, ExpTable6, ExpStream}
 
+// plan is one experiment's declarative form: an ordered list of
+// self-contained cells plus a renderer that turns the per-variant results
+// (grouped back in spec order) into the experiment's table text. The
+// specs carry all target construction and per-cell configuration inside
+// their Run closures, so the runner can execute them in any order on any
+// number of host workers; rows fixes the variant order for rendering and
+// record emission.
+type plan struct {
+	rows   []string
+	specs  []CellSpec
+	render func(data map[string][]filebench.Result) string
+}
+
+// planFor builds the named experiment's plan. The static tables (1 and
+// 2) have no measured cells: they return their text directly with a nil
+// plan.
+func planFor(id string, o Options) (*plan, string, error) {
+	switch id {
+	case ExpTable1:
+		return nil, Table1Text(), nil
+	case ExpTable2:
+		return nil, Table2Text(), nil
+	case ExpFig2:
+		return fig2Plan(o), "", nil
+	case ExpFig3:
+		return fig3Plan(o), "", nil
+	case ExpFig4:
+		return fig4Plan(o), "", nil
+	case ExpTable4:
+		return table4Plan(o), "", nil
+	case ExpTable5:
+		return table5Plan(o), "", nil
+	case ExpTable6:
+		return table6Plan(o), "", nil
+	case ExpStream:
+		return streamPlan(o), "", nil
+	}
+	return nil, "", fmt.Errorf("harness: unknown experiment %q (have %v)", id, AllExperiments)
+}
+
 // workingSet sizes each thread's file so the full set fits the device
 // with room for metadata and the log (the paper's read files are small:
 // "the file is cached very quickly").
@@ -57,234 +97,277 @@ func readCell(variant string, o Options, threads, ioSize int, random bool) (file
 	})
 }
 
-// Fig2 regenerates Figure 2: 4KB reads, ops/sec, seq/rnd × 1/32 threads.
-func Fig2(o Options) (string, map[string][]filebench.Result, error) {
-	cols := []string{"seq-1t", "seq-32t", "rnd-1t", "rnd-32t"}
+// readThreadCells is the (threads, random) grid shared by Figures 2 and 3.
+type readThreadCell struct {
+	threads int
+	random  bool
+	label   string
+}
+
+var fig23Cells = []readThreadCell{
+	{1, false, "seq-1t"}, {32, false, "seq-32t"}, {1, true, "rnd-1t"}, {32, true, "rnd-32t"},
+}
+
+// fig2Plan regenerates Figure 2: 4KB reads, ops/sec, seq/rnd × 1/32
+// threads.
+func fig2Plan(o Options) *plan {
 	vars := microVariants(o)
-	data := make(map[string][]filebench.Result)
+	cols := make([]string, len(fig23Cells))
+	for i, c := range fig23Cells {
+		cols[i] = c.label
+	}
+	var specs []CellSpec
 	for _, v := range vars {
-		for _, c := range []struct {
-			threads int
-			random  bool
-		}{{1, false}, {32, false}, {1, true}, {32, true}} {
-			r, err := readCell(v, o, c.threads, 4096, c.random)
-			if err != nil {
-				return "", nil, fmt.Errorf("fig2 %s: %w", v, err)
-			}
-			data[v] = append(data[v], r)
+		for _, c := range fig23Cells {
+			specs = append(specs, CellSpec{
+				Experiment: ExpFig2, Variant: v,
+				Run: func() (filebench.Result, error) {
+					r, err := readCell(v, o, c.threads, 4096, c.random)
+					if err != nil {
+						return r, fmt.Errorf("fig2 %s: %w", v, err)
+					}
+					return r, nil
+				},
+			})
 		}
 	}
-	out := Table("Figure 2: Read performance (4KB), ops/sec (x1000)", cols, vars,
-		func(r, c int) string {
-			return fmt.Sprintf("%.0f", data[vars[r]][c].OpsPerSec()/1000)
-		})
-	return out, data, nil
+	return &plan{rows: vars, specs: specs, render: func(data map[string][]filebench.Result) string {
+		return Table("Figure 2: Read performance (4KB), ops/sec (x1000)", cols, vars,
+			func(r, c int) string {
+				return fmt.Sprintf("%.0f", data[vars[r]][c].OpsPerSec()/1000)
+			})
+	}}
 }
 
-// Fig3 regenerates Figure 3: 32K/128K/1024K reads, throughput MBps.
-func Fig3(o Options) (string, map[string][]filebench.Result, error) {
+// fig3Plan regenerates Figure 3: 32K/128K/1024K reads, throughput MBps.
+func fig3Plan(o Options) *plan {
 	sizes := []int{32 << 10, 128 << 10, 1024 << 10}
-	cells := []struct {
-		threads int
-		random  bool
-		label   string
-	}{{1, false, "seq-1t"}, {32, false, "seq-32t"}, {1, true, "rnd-1t"}, {32, true, "rnd-32t"}}
 	vars := microVariants(o)
-	data := make(map[string][]filebench.Result)
-	var b strings.Builder
+	cols := make([]string, len(fig23Cells))
+	for i, c := range fig23Cells {
+		cols[i] = c.label
+	}
+	var specs []CellSpec
 	for _, size := range sizes {
-		cols := make([]string, len(cells))
-		for i, c := range cells {
-			cols[i] = c.label
-		}
-		sub := make(map[string][]filebench.Result)
 		for _, v := range vars {
-			for _, c := range cells {
-				r, err := readCell(v, o, c.threads, size, c.random)
-				if err != nil {
-					return "", nil, fmt.Errorf("fig3 %s %d: %w", v, size, err)
-				}
-				sub[v] = append(sub[v], r)
-				data[v] = append(data[v], r)
+			for _, c := range fig23Cells {
+				specs = append(specs, CellSpec{
+					Experiment: ExpFig3, Variant: v,
+					Run: func() (filebench.Result, error) {
+						r, err := readCell(v, o, c.threads, size, c.random)
+						if err != nil {
+							return r, fmt.Errorf("fig3 %s %d: %w", v, size, err)
+						}
+						return r, nil
+					},
+				})
 			}
 		}
-		b.WriteString(Table(fmt.Sprintf("Figure 3: Read performance (%dKB), MBps", size/1024),
-			cols, vars, func(r, c int) string {
-				return fmt.Sprintf("%.0f", sub[vars[r]][c].MBps())
-			}))
-		b.WriteByte('\n')
 	}
-	return b.String(), data, nil
+	return &plan{rows: vars, specs: specs, render: func(data map[string][]filebench.Result) string {
+		var b strings.Builder
+		for si, size := range sizes {
+			b.WriteString(Table(fmt.Sprintf("Figure 3: Read performance (%dKB), MBps", size/1024),
+				cols, vars, func(r, c int) string {
+					return fmt.Sprintf("%.0f", data[vars[r]][si*len(fig23Cells)+c].MBps())
+				}))
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}}
 }
 
-// Fig4 regenerates Figure 4: 32K/128K/1024K writes, throughput MBps,
+// fig4Plan regenerates Figure 4: 32K/128K/1024K writes, throughput MBps,
 // seq-1t / rnd-1t / rnd-32t.
-func Fig4(o Options) (string, map[string][]filebench.Result, error) {
+func fig4Plan(o Options) *plan {
 	sizes := []int{32 << 10, 128 << 10, 1024 << 10}
-	cells := []struct {
-		threads int
-		random  bool
-		label   string
-	}{{1, false, "seq-1t"}, {1, true, "rnd-1t"}, {32, true, "rnd-32t"}}
+	cells := []readThreadCell{{1, false, "seq-1t"}, {1, true, "rnd-1t"}, {32, true, "rnd-32t"}}
 	vars := microVariants(o)
-	data := make(map[string][]filebench.Result)
-	var b strings.Builder
+	cols := make([]string, len(cells))
+	for i, c := range cells {
+		cols[i] = c.label
+	}
+	var specs []CellSpec
 	for _, size := range sizes {
-		cols := make([]string, len(cells))
-		for i, c := range cells {
-			cols[i] = c.label
-		}
-		sub := make(map[string][]filebench.Result)
 		for _, v := range vars {
 			for _, c := range cells {
+				specs = append(specs, CellSpec{
+					Experiment: ExpFig4, Variant: v,
+					Run: func() (filebench.Result, error) {
+						tg, err := NewTarget(v, o)
+						if err != nil {
+							return filebench.Result{}, fmt.Errorf("fig4 %s: %w", v, err)
+						}
+						// Sustained writes must reach storage: use a tight
+						// dirty budget so write-back runs continuously, as
+						// it would in the paper's 60-second filebench runs.
+						tg.M.SetDirtyLimit(256)
+						r, err := filebench.WriteMicro(tg, filebench.MicroConfig{
+							Threads: c.threads, IOSize: size, FileSize: workingSet(o, c.threads),
+							Random: c.random, Duration: o.Duration, MaxOps: o.MaxOps, Seed: 2,
+						})
+						if err != nil {
+							return r, fmt.Errorf("fig4 %s %d: %w", v, size, err)
+						}
+						return r, nil
+					},
+				})
+			}
+		}
+	}
+	return &plan{rows: vars, specs: specs, render: func(data map[string][]filebench.Result) string {
+		var b strings.Builder
+		for si, size := range sizes {
+			b.WriteString(Table(fmt.Sprintf("Figure 4: Write performance (%dKB), MBps", size/1024),
+				cols, vars, func(r, c int) string {
+					return fmt.Sprintf("%.0f", data[vars[r]][si*len(cells)+c].MBps())
+				}))
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}}
+}
+
+// table4Plan regenerates the create microbenchmark (ops/sec, 1 and 32
+// threads).
+func table4Plan(o Options) *plan {
+	cols := []string{"1 Thread", "32 Threads"}
+	vars := microVariants(o)
+	var specs []CellSpec
+	for _, v := range vars {
+		for _, threads := range []int{1, 32} {
+			specs = append(specs, CellSpec{
+				Experiment: ExpTable4, Variant: v,
+				Run: func() (filebench.Result, error) {
+					tg, err := NewTarget(v, o)
+					if err != nil {
+						return filebench.Result{}, fmt.Errorf("table4 %s: %w", v, err)
+					}
+					r, err := filebench.CreateFiles(tg, filebench.MetaConfig{
+						Threads: threads, FileSize: 16 << 10, Duration: o.Duration, MaxOps: o.MaxOps,
+					})
+					if err != nil {
+						return r, fmt.Errorf("table4 %s: %w", v, err)
+					}
+					return r, nil
+				},
+			})
+		}
+	}
+	return &plan{rows: vars, specs: specs, render: func(data map[string][]filebench.Result) string {
+		return Table("Table 4: Create microbenchmark performance (ops/sec)", cols, vars,
+			func(r, c int) string { return fmt.Sprintf("%.0f", data[vars[r]][c].OpsPerSec()) })
+	}}
+}
+
+// table5Plan regenerates the delete microbenchmark.
+func table5Plan(o Options) *plan {
+	cols := []string{"1 Thread", "32 Threads"}
+	vars := microVariants(o)
+	var specs []CellSpec
+	for _, v := range vars {
+		for _, threads := range []int{1, 32} {
+			specs = append(specs, CellSpec{
+				Experiment: ExpTable5, Variant: v,
+				Run: func() (filebench.Result, error) {
+					tg, err := NewTarget(v, o)
+					if err != nil {
+						return filebench.Result{}, fmt.Errorf("table5 %s: %w", v, err)
+					}
+					files := 2048
+					if v == VariantFUSE {
+						files = 256 // FUSE deletes are ~60x slower; keep setup bounded
+					}
+					if budget := int(o.NInodes)/threads - 8; files > budget {
+						files = budget // stay within the inode table
+					}
+					r, err := filebench.DeleteFiles(tg, filebench.MetaConfig{
+						Threads: threads, Files: files, Duration: o.Duration, MaxOps: o.MaxOps,
+					})
+					if err != nil {
+						return r, fmt.Errorf("table5 %s: %w", v, err)
+					}
+					return r, nil
+				},
+			})
+		}
+	}
+	return &plan{rows: vars, specs: specs, render: func(data map[string][]filebench.Result) string {
+		return Table("Table 5: Delete microbenchmark performance (ops/sec)", cols, vars,
+			func(r, c int) string { return fmt.Sprintf("%.0f", data[vars[r]][c].OpsPerSec()) })
+	}}
+}
+
+// table6Plan regenerates the macrobenchmarks: varmail and fileserver in
+// ops/sec, untar in seconds (scaled tree; lower is better).
+func table6Plan(o Options) *plan {
+	cols := []string{"Varmail (ops/s)", "Fileserver (ops/s)", "Untar (s)"}
+	var specs []CellSpec
+	for _, v := range AllVariants {
+		specs = append(specs,
+			CellSpec{Experiment: ExpTable6, Variant: v, Run: func() (filebench.Result, error) {
 				tg, err := NewTarget(v, o)
 				if err != nil {
-					return "", nil, err
+					return filebench.Result{}, fmt.Errorf("table6 varmail %s: %w", v, err)
 				}
-				// Sustained writes must reach storage: use a tight dirty
-				// budget so write-back runs continuously, as it would in
-				// the paper's 60-second filebench runs.
-				tg.M.SetDirtyLimit(256)
-				r, err := filebench.WriteMicro(tg, filebench.MicroConfig{
-					Threads: c.threads, IOSize: size, FileSize: workingSet(o, c.threads),
-					Random: c.random, Duration: o.Duration, MaxOps: o.MaxOps, Seed: 2,
+				r, err := filebench.Varmail(tg, filebench.MacroConfig{
+					Threads: 16, Files: o.MacroFiles, Duration: o.Duration, MaxOps: o.MaxOps, Seed: 3,
 				})
 				if err != nil {
-					return "", nil, fmt.Errorf("fig4 %s %d: %w", v, size, err)
+					return r, fmt.Errorf("table6 varmail %s: %w", v, err)
 				}
-				sub[v] = append(sub[v], r)
-				data[v] = append(data[v], r)
-			}
-		}
-		b.WriteString(Table(fmt.Sprintf("Figure 4: Write performance (%dKB), MBps", size/1024),
-			cols, vars, func(r, c int) string {
-				return fmt.Sprintf("%.0f", sub[vars[r]][c].MBps())
-			}))
-		b.WriteByte('\n')
+				return r, nil
+			}},
+			CellSpec{Experiment: ExpTable6, Variant: v, Run: func() (filebench.Result, error) {
+				tg, err := NewTarget(v, o)
+				if err != nil {
+					return filebench.Result{}, fmt.Errorf("table6 fileserver %s: %w", v, err)
+				}
+				r, err := filebench.Fileserver(tg, filebench.MacroConfig{
+					Threads: 50, Files: o.MacroFiles / 4, Duration: o.Duration, MaxOps: o.MaxOps, Seed: 4,
+				})
+				if err != nil {
+					return r, fmt.Errorf("table6 fileserver %s: %w", v, err)
+				}
+				return r, nil
+			}},
+			CellSpec{Experiment: ExpTable6, Variant: v, Run: func() (filebench.Result, error) {
+				tg, err := NewTarget(v, o)
+				if err != nil {
+					return filebench.Result{}, fmt.Errorf("table6 untar %s: %w", v, err)
+				}
+				spec := filebench.DefaultUntarSpec()
+				if o.MacroFiles < 64 {
+					spec.Dirs = 24 // quick mode
+				}
+				r, err := filebench.Untar(tg, spec)
+				if err != nil {
+					return r, fmt.Errorf("table6 untar %s: %w", v, err)
+				}
+				return r, nil
+			}},
+		)
 	}
-	return b.String(), data, nil
-}
-
-// Table4 regenerates the create microbenchmark (ops/sec, 1 and 32
-// threads).
-func Table4(o Options) (string, map[string][]filebench.Result, error) {
-	cols := []string{"1 Thread", "32 Threads"}
-	vars := microVariants(o)
-	data := make(map[string][]filebench.Result)
-	for _, v := range vars {
-		for _, threads := range []int{1, 32} {
-			tg, err := NewTarget(v, o)
-			if err != nil {
-				return "", nil, err
-			}
-			r, err := filebench.CreateFiles(tg, filebench.MetaConfig{
-				Threads: threads, FileSize: 16 << 10, Duration: o.Duration, MaxOps: o.MaxOps,
+	return &plan{rows: AllVariants, specs: specs, render: func(data map[string][]filebench.Result) string {
+		return Table("Table 6: Macrobenchmark performance", cols, AllVariants,
+			func(r, c int) string {
+				res := data[AllVariants[r]][c]
+				if c == 2 {
+					return fmt.Sprintf("%.2f", res.Elapsed.Seconds())
+				}
+				return fmt.Sprintf("%.0f", res.OpsPerSec())
 			})
-			if err != nil {
-				return "", nil, fmt.Errorf("table4 %s: %w", v, err)
-			}
-			data[v] = append(data[v], r)
-		}
-	}
-	out := Table("Table 4: Create microbenchmark performance (ops/sec)", cols, vars,
-		func(r, c int) string { return fmt.Sprintf("%.0f", data[vars[r]][c].OpsPerSec()) })
-	return out, data, nil
+	}}
 }
 
-// Table5 regenerates the delete microbenchmark.
-func Table5(o Options) (string, map[string][]filebench.Result, error) {
-	cols := []string{"1 Thread", "32 Threads"}
-	vars := microVariants(o)
-	data := make(map[string][]filebench.Result)
-	for _, v := range vars {
-		for _, threads := range []int{1, 32} {
-			tg, err := NewTarget(v, o)
-			if err != nil {
-				return "", nil, err
-			}
-			files := 2048
-			if v == VariantFUSE {
-				files = 256 // FUSE deletes are ~60x slower; keep setup bounded
-			}
-			if budget := int(o.NInodes)/threads - 8; files > budget {
-				files = budget // stay within the inode table
-			}
-			r, err := filebench.DeleteFiles(tg, filebench.MetaConfig{
-				Threads: threads, Files: files, Duration: o.Duration, MaxOps: o.MaxOps,
-			})
-			if err != nil {
-				return "", nil, fmt.Errorf("table5 %s: %w", v, err)
-			}
-			data[v] = append(data[v], r)
-		}
-	}
-	out := Table("Table 5: Delete microbenchmark performance (ops/sec)", cols, vars,
-		func(r, c int) string { return fmt.Sprintf("%.0f", data[vars[r]][c].OpsPerSec()) })
-	return out, data, nil
-}
-
-// Table6 regenerates the macrobenchmarks: varmail and fileserver in
-// ops/sec, untar in seconds (scaled tree; lower is better).
-func Table6(o Options) (string, map[string][]filebench.Result, error) {
-	cols := []string{"Varmail (ops/s)", "Fileserver (ops/s)", "Untar (s)"}
-	data := make(map[string][]filebench.Result)
-	for _, v := range AllVariants {
-		// varmail
-		tg, err := NewTarget(v, o)
-		if err != nil {
-			return "", nil, err
-		}
-		vm, err := filebench.Varmail(tg, filebench.MacroConfig{
-			Threads: 16, Files: o.MacroFiles, Duration: o.Duration, MaxOps: o.MaxOps, Seed: 3,
-		})
-		if err != nil {
-			return "", nil, fmt.Errorf("table6 varmail %s: %w", v, err)
-		}
-		// fileserver
-		tg, err = NewTarget(v, o)
-		if err != nil {
-			return "", nil, err
-		}
-		fsrv, err := filebench.Fileserver(tg, filebench.MacroConfig{
-			Threads: 50, Files: o.MacroFiles / 4, Duration: o.Duration, MaxOps: o.MaxOps, Seed: 4,
-		})
-		if err != nil {
-			return "", nil, fmt.Errorf("table6 fileserver %s: %w", v, err)
-		}
-		// untar
-		tg, err = NewTarget(v, o)
-		if err != nil {
-			return "", nil, err
-		}
-		spec := filebench.DefaultUntarSpec()
-		if o.MacroFiles < 64 {
-			spec.Dirs = 24 // quick mode
-		}
-		ut, err := filebench.Untar(tg, spec)
-		if err != nil {
-			return "", nil, fmt.Errorf("table6 untar %s: %w", v, err)
-		}
-		data[v] = []filebench.Result{vm, fsrv, ut}
-	}
-	out := Table("Table 6: Macrobenchmark performance", cols, AllVariants,
-		func(r, c int) string {
-			res := data[AllVariants[r]][c]
-			if c == 2 {
-				return fmt.Sprintf("%.2f", res.Elapsed.Seconds())
-			}
-			return fmt.Sprintf("%.0f", res.OpsPerSec())
-		})
-	return out, data, nil
-}
-
-// Stream runs the streaming scenario per variant, reported in MBps: a
+// streamPlan runs the streaming scenario per variant, reported in MBps: a
 // cold sequential read pass, a multi-stream read pass (o.StreamThreads
 // concurrent readers over per-thread files — the same total bytes —
 // whose read-ahead windows compete for the device's queue slots), and a
 // sustained sequential write (fsync at the end). A tight dirty budget
 // keeps the write stream feeding the flusher (or, for FUSE, stalling on
 // its own write-back) instead of ending as one giant cached burst.
-func Stream(o Options) (string, map[string][]filebench.Result, error) {
+func streamPlan(o Options) *plan {
 	vars := streamVariants(o)
 	streams := o.StreamThreads
 	if streams <= 0 {
@@ -305,49 +388,97 @@ func Stream(o Options) (string, map[string][]filebench.Result, error) {
 	if budget := int64(o.DevBlocks) * 4096 / 4; fileSize > budget {
 		fileSize = budget // leave room for metadata, the log, and slack
 	}
-	data := make(map[string][]filebench.Result)
+	var specs []CellSpec
 	for _, v := range vars {
-		tg, err := NewTarget(v, o)
-		if err != nil {
-			return "", nil, err
-		}
-		rd, err := filebench.StreamRead(tg, filebench.StreamConfig{Threads: 1, FileSize: fileSize})
-		if err != nil {
-			return "", nil, fmt.Errorf("stream read %s: %w", v, err)
-		}
-		cells := []filebench.Result{rd}
+		specs = append(specs, CellSpec{Experiment: ExpStream, Variant: v,
+			Run: func() (filebench.Result, error) {
+				tg, err := NewTarget(v, o)
+				if err != nil {
+					return filebench.Result{}, fmt.Errorf("stream read %s: %w", v, err)
+				}
+				r, err := filebench.StreamRead(tg, filebench.StreamConfig{Threads: 1, FileSize: fileSize})
+				if err != nil {
+					return r, fmt.Errorf("stream read %s: %w", v, err)
+				}
+				return r, nil
+			}})
 		if multi {
-			// Multi-stream: the per-thread size divides the same total,
-			// so the row isolates queue competition rather than extra
-			// data.
-			tg, err = NewTarget(v, o)
-			if err != nil {
-				return "", nil, err
-			}
-			rdN, err := filebench.StreamRead(tg, filebench.StreamConfig{
-				Threads: streams, FileSize: fileSize / int64(streams),
-			})
-			if err != nil {
-				return "", nil, fmt.Errorf("stream read-%dt %s: %w", streams, v, err)
-			}
-			cells = append(cells, rdN)
+			specs = append(specs, CellSpec{Experiment: ExpStream, Variant: v,
+				Run: func() (filebench.Result, error) {
+					// Multi-stream: the per-thread size divides the same
+					// total, so the row isolates queue competition rather
+					// than extra data.
+					tg, err := NewTarget(v, o)
+					if err != nil {
+						return filebench.Result{}, fmt.Errorf("stream read-%dt %s: %w", streams, v, err)
+					}
+					r, err := filebench.StreamRead(tg, filebench.StreamConfig{
+						Threads: streams, FileSize: fileSize / int64(streams),
+					})
+					if err != nil {
+						return r, fmt.Errorf("stream read-%dt %s: %w", streams, v, err)
+					}
+					return r, nil
+				}})
 		}
-		tg, err = NewTarget(v, o)
-		if err != nil {
-			return "", nil, err
-		}
-		tg.M.SetDirtyLimit(512)
-		wr, err := filebench.StreamWrite(tg, filebench.StreamConfig{Threads: 1, FileSize: fileSize})
-		if err != nil {
-			return "", nil, fmt.Errorf("stream write %s: %w", v, err)
-		}
-		data[v] = append(cells, wr)
+		specs = append(specs, CellSpec{Experiment: ExpStream, Variant: v,
+			Run: func() (filebench.Result, error) {
+				tg, err := NewTarget(v, o)
+				if err != nil {
+					return filebench.Result{}, fmt.Errorf("stream write %s: %w", v, err)
+				}
+				tg.M.SetDirtyLimit(512)
+				r, err := filebench.StreamWrite(tg, filebench.StreamConfig{Threads: 1, FileSize: fileSize})
+				if err != nil {
+					return r, fmt.Errorf("stream write %s: %w", v, err)
+				}
+				return r, nil
+			}})
 	}
-	out := Table(fmt.Sprintf("Streaming scenario (%d MiB cold sequential pass), MBps", fileSize>>20),
-		cols, vars, func(r, c int) string {
-			return fmt.Sprintf("%.0f", data[vars[r]][c].MBps())
-		})
-	return out, data, nil
+	return &plan{rows: vars, specs: specs, render: func(data map[string][]filebench.Result) string {
+		return Table(fmt.Sprintf("Streaming scenario (%d MiB cold sequential pass), MBps", fileSize>>20),
+			cols, vars, func(r, c int) string {
+				return fmt.Sprintf("%.0f", data[vars[r]][c].MBps())
+			})
+	}}
+}
+
+// Fig2 regenerates Figure 2: 4KB reads, ops/sec, seq/rnd × 1/32 threads.
+func Fig2(o Options) (string, map[string][]filebench.Result, error) {
+	return runExperiment(ExpFig2, o)
+}
+
+// Fig3 regenerates Figure 3: 32K/128K/1024K reads, throughput MBps.
+func Fig3(o Options) (string, map[string][]filebench.Result, error) {
+	return runExperiment(ExpFig3, o)
+}
+
+// Fig4 regenerates Figure 4: 32K/128K/1024K writes, throughput MBps,
+// seq-1t / rnd-1t / rnd-32t.
+func Fig4(o Options) (string, map[string][]filebench.Result, error) {
+	return runExperiment(ExpFig4, o)
+}
+
+// Table4 regenerates the create microbenchmark (ops/sec, 1 and 32
+// threads).
+func Table4(o Options) (string, map[string][]filebench.Result, error) {
+	return runExperiment(ExpTable4, o)
+}
+
+// Table5 regenerates the delete microbenchmark.
+func Table5(o Options) (string, map[string][]filebench.Result, error) {
+	return runExperiment(ExpTable5, o)
+}
+
+// Table6 regenerates the macrobenchmarks: varmail and fileserver in
+// ops/sec, untar in seconds (scaled tree; lower is better).
+func Table6(o Options) (string, map[string][]filebench.Result, error) {
+	return runExperiment(ExpTable6, o)
+}
+
+// Stream runs the streaming scenario per variant (see streamPlan).
+func Stream(o Options) (string, map[string][]filebench.Result, error) {
+	return runExperiment(ExpStream, o)
 }
 
 // Run executes one experiment by id and returns its rendered output.

@@ -68,6 +68,15 @@ type Options struct {
 	// stream is the single-stream row).
 	StreamThreads int
 
+	// Parallel bounds the host-worker pool the cell runner uses: that
+	// many benchmark cells execute concurrently on the host (<= 0 means
+	// runtime.NumCPU(); 1 runs cells sequentially, the pre-parallel
+	// behaviour). Each cell builds its own kernel, device, and clocks
+	// and shares no mutable state with other cells, so this changes
+	// wall-clock only — every virtual-time result, and therefore the
+	// -json output, is byte-identical at any setting.
+	Parallel int
+
 	// CacheShards > 1 adds the Bento-shard row (sharded buffer cache)
 	// to the micro experiments; the default keeps every published
 	// variant at 1 shard.
@@ -238,13 +247,6 @@ func NewTarget(variant string, o Options) (filebench.Target, error) {
 		return kernelMount(m), nil
 	}
 	return filebench.Target{}, fmt.Errorf("harness: unknown variant %q", variant)
-}
-
-// Cell is one measured data point of a table/figure.
-type Cell struct {
-	Variant  string
-	Workload string
-	Result   filebench.Result
 }
 
 // Table renders rows×columns of measurements as fixed-width text.

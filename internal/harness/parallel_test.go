@@ -1,0 +1,155 @@
+package harness
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bento/internal/filebench"
+)
+
+// TestRunCellsPreservesSpecOrder checks the runner's core contract:
+// outputs land in spec order at any parallelism, regardless of
+// completion order.
+func TestRunCellsPreservesSpecOrder(t *testing.T) {
+	const n = 50
+	specs := make([]CellSpec, n)
+	for i := range specs {
+		specs[i] = CellSpec{Experiment: "t", Variant: "v", Run: func() (filebench.Result, error) {
+			// Reverse-staggered sleeps force completion order to differ
+			// from spec order under a parallel pool.
+			time.Sleep(time.Duration(n-i) * 10 * time.Microsecond)
+			return filebench.Result{Name: fmt.Sprintf("cell%02d", i), Ops: int64(i)}, nil
+		}}
+	}
+	for _, parallel := range []int{0, 1, 4, 64} {
+		outs, err := RunCells(specs, parallel)
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		if len(outs) != n {
+			t.Fatalf("parallel=%d: %d outputs, want %d", parallel, len(outs), n)
+		}
+		for i, o := range outs {
+			if o.Result.Ops != int64(i) || o.Result.Name != fmt.Sprintf("cell%02d", i) {
+				t.Fatalf("parallel=%d: out[%d] = %+v (order not preserved)", parallel, i, o.Result)
+			}
+			if o.HostNS <= 0 {
+				t.Fatalf("parallel=%d: out[%d] has no host time", parallel, i)
+			}
+		}
+	}
+}
+
+// TestRunCellsFirstErrorWinsAndStopsDispatch checks the error contract:
+// among failing cells the first in spec order is reported, and no new
+// cells start after a failure is observed.
+func TestRunCellsFirstErrorWinsAndStopsDispatch(t *testing.T) {
+	errA := errors.New("cell 1 failed")
+	errB := errors.New("cell 3 failed")
+	var started atomic.Int64
+	specs := []CellSpec{
+		{Experiment: "t", Variant: "v", Run: func() (filebench.Result, error) {
+			started.Add(1)
+			time.Sleep(2 * time.Millisecond) // lose the race to cell 3's error
+			return filebench.Result{}, errA
+		}},
+		{Experiment: "t", Variant: "v", Run: func() (filebench.Result, error) {
+			started.Add(1)
+			return filebench.Result{}, nil
+		}},
+		{Experiment: "t", Variant: "v", Run: func() (filebench.Result, error) {
+			started.Add(1)
+			return filebench.Result{}, errB
+		}},
+		{Experiment: "t", Variant: "v", Run: func() (filebench.Result, error) {
+			started.Add(1)
+			time.Sleep(50 * time.Millisecond)
+			return filebench.Result{}, nil
+		}},
+	}
+	if _, err := RunCells(specs, 4); !errors.Is(err, errA) {
+		t.Fatalf("err = %v, want the spec-order-first error %v", err, errA)
+	}
+
+	// Sequential: the first error stops the run before later cells start.
+	started.Store(0)
+	if _, err := RunCells(specs, 1); !errors.Is(err, errA) {
+		t.Fatalf("sequential err = %v, want %v", err, errA)
+	}
+	if got := started.Load(); got != 1 {
+		t.Fatalf("sequential run started %d cells after an error in cell 0, want 1", got)
+	}
+}
+
+// tinyOpts shrinks the workload far enough that a full experiment at two
+// parallelism levels stays cheap even under -race — this test is the
+// tree's standing race coverage of concurrently executing cells, so it
+// must NOT be skipped in -short.
+func tinyOpts() Options {
+	o := Quick()
+	o.Duration = 10 * time.Millisecond
+	o.MaxOps = 150
+	return o
+}
+
+// TestCellRunnerParallelMatchesSequential runs Figure 2 — whose 32-thread
+// cells drive the scheduler, CPU pool, caches, and background I/O — with
+// cells sequential and with cells host-parallel, and requires identical
+// virtual-time results. Under -race (CI runs this tree-wide) it is also
+// the enforcement that concurrently running cells share no mutable state:
+// any package-level leak between cells trips the detector here.
+func TestCellRunnerParallelMatchesSequential(t *testing.T) {
+	seq := tinyOpts()
+	seq.Parallel = 1
+	_, first, err := Fig2(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := tinyOpts()
+	par.Parallel = 4
+	_, second, err := Fig2(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqual(t, first, second)
+}
+
+// TestParallelMatrixByteIdentical is the acceptance check for the
+// parallel cell runner: the full quick-shaped matrix (every experiment)
+// must serialize to byte-identical JSON at -parallel=1 and -parallel=8.
+// Host wall-clock is stripped exactly as `bentobench -json` does by
+// default — it is the one record field outside the determinism contract.
+func TestParallelMatrixByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full matrix runs")
+	}
+	runMatrix := func(parallel int) []byte {
+		t.Helper()
+		o := determinismOpts()
+		o.Parallel = parallel
+		results, err := RunMatrix(AllExperiments, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var recs []Record
+		for _, er := range results {
+			recs = append(recs, er.Records...)
+		}
+		StripHostNS(recs)
+		buf, err := json.Marshal(recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+	seq := runMatrix(1)
+	par := runMatrix(8)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("matrix JSON differs between -parallel=1 (%d bytes) and -parallel=8 (%d bytes)", len(seq), len(par))
+	}
+}

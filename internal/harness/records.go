@@ -1,11 +1,5 @@
 package harness
 
-import (
-	"fmt"
-
-	"bento/internal/filebench"
-)
-
 // Record is one measured benchmark cell in machine-readable form, the
 // unit of `bentobench -json` output. The perf trajectory across PRs is
 // tracked by diffing these records, so the field set is append-only.
@@ -19,66 +13,33 @@ type Record struct {
 	OpsPerSec  float64 `json:"ops_per_sec"`
 	MBps       float64 `json:"mbps"`
 	Errs       int64   `json:"errs"`
+
+	// HostNS is the host wall-clock the cell took to execute —
+	// informational only, never part of the determinism contract (it
+	// varies run to run and with -parallel). It is omitted from JSON
+	// when zero; bentobench zeroes it unless -hostns is given, so the
+	// default -json output stays byte-identical across runs.
+	HostNS int64 `json:"host_ns,omitempty"`
+}
+
+// StripHostNS zeroes the informational host wall-clock on every record,
+// leaving only virtual-time fields — the byte-stable form the
+// determinism gates compare.
+func StripHostNS(recs []Record) {
+	for i := range recs {
+		recs[i].HostNS = 0
+	}
 }
 
 // RunRecords executes one experiment and returns its rendered text plus
 // machine-readable records. The static tables (1 and 2) have no
 // measured cells and yield no records. Records are emitted in a
-// deterministic order: variants in row order, cells in run order.
+// deterministic order: variants in row order, cells in run (spec)
+// order — identical at any parallelism.
 func RunRecords(id string, o Options) (string, []Record, error) {
-	var (
-		text string
-		data map[string][]filebench.Result
-		rows []string
-		err  error
-	)
-	switch id {
-	case ExpTable1:
-		return Table1Text(), nil, nil
-	case ExpTable2:
-		return Table2Text(), nil, nil
-	case ExpFig2:
-		text, data, err = Fig2(o)
-		rows = microVariants(o)
-	case ExpFig3:
-		text, data, err = Fig3(o)
-		rows = microVariants(o)
-	case ExpFig4:
-		text, data, err = Fig4(o)
-		rows = microVariants(o)
-	case ExpTable4:
-		text, data, err = Table4(o)
-		rows = microVariants(o)
-	case ExpTable5:
-		text, data, err = Table5(o)
-		rows = microVariants(o)
-	case ExpTable6:
-		text, data, err = Table6(o)
-		rows = AllVariants
-	case ExpStream:
-		text, data, err = Stream(o)
-		rows = streamVariants(o)
-	default:
-		return "", nil, fmt.Errorf("harness: unknown experiment %q (have %v)", id, AllExperiments)
-	}
+	out, err := RunMatrix([]string{id}, o)
 	if err != nil {
 		return "", nil, err
 	}
-	var recs []Record
-	for _, v := range rows {
-		for _, r := range data[v] {
-			recs = append(recs, Record{
-				Experiment: id,
-				Variant:    v,
-				Cell:       r.Name,
-				Ops:        r.Ops,
-				Bytes:      r.Bytes,
-				ElapsedNS:  int64(r.Elapsed),
-				OpsPerSec:  r.OpsPerSec(),
-				MBps:       r.MBps(),
-				Errs:       r.Errs,
-			})
-		}
-	}
-	return text, recs, nil
+	return out[0].Text, out[0].Records, nil
 }

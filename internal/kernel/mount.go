@@ -26,6 +26,31 @@ const DefaultDirtyLimitPages = 2048
 // evicted beyond it).
 const DefaultPageCacheCap = 1 << 18 // 1 GiB of 4K pages
 
+// mountShards is the shard count of the per-mount dcache and vnode
+// tables (a power of two). One mutex per table serialized every path
+// walk and vnode lookup of all 32 threads of the paper's hot cells; the
+// same padded-shard idiom as lru.Cache (internal/lru) spreads them over
+// independent locks. Sharding changes host-lock contention only — no
+// virtual-time cost depends on shard choice, so every published cell is
+// unchanged.
+const mountShards = 16
+
+// vnodeShard is one stripe of the vnode table. The pad rounds the
+// struct to 64 bytes (mutex 8 + map header 8 + 48) so neighboring
+// shards in the array never share a cache line.
+type vnodeShard struct {
+	mu sync.Mutex
+	m  map[fsapi.Ino]*vnode
+	_  [48]byte
+}
+
+// dcacheShard is one stripe of the dentry cache (padded like vnodeShard).
+type dcacheShard struct {
+	mu sync.Mutex
+	m  map[dkey]fsapi.Ino
+	_  [48]byte
+}
+
 // Mount is one mounted file system: the VFS objects (inode/dentry caches),
 // the page cache, and the system-call entry points that benchmarks and
 // examples drive.
@@ -37,9 +62,9 @@ type Mount struct {
 	dev        *blockdev.Device
 	model      *costmodel.Model
 
-	mu     sync.Mutex
-	vnodes map[fsapi.Ino]*vnode
-	dcache map[dkey]fsapi.Ino
+	mu     sync.Mutex // guards fs (SwapFS); the tables below shard their own locks
+	vnodes [mountShards]vnodeShard
+	dcache [mountShards]dcacheShard
 
 	dirtyPages atomic.Int64
 	dirtyLimit int64
@@ -121,18 +146,41 @@ func (pg *page) LRUNode() *lru.Node { return &pg.node }
 func pageRecency(pg *page) int64 { return pg.lastUse.Load() }
 
 func newMount(k *Kernel, fstype, mountPoint string, fs FileSystem, dev *blockdev.Device) *Mount {
-	return &Mount{
+	m := &Mount{
 		k:          k,
 		fstype:     fstype,
 		mountPoint: mountPoint,
 		fs:         fs,
 		dev:        dev,
 		model:      k.model,
-		vnodes:     make(map[fsapi.Ino]*vnode),
-		dcache:     make(map[dkey]fsapi.Ino),
 		dirtyLimit: DefaultDirtyLimitPages,
 		pageCap:    DefaultPageCacheCap,
 	}
+	for i := range m.vnodes {
+		m.vnodes[i].m = make(map[fsapi.Ino]*vnode)
+	}
+	for i := range m.dcache {
+		m.dcache[i].m = make(map[dkey]fsapi.Ino)
+	}
+	return m
+}
+
+// vshard maps an inode to its vnode-table stripe.
+func (m *Mount) vshard(ino fsapi.Ino) *vnodeShard {
+	return &m.vnodes[uint64(ino)&(mountShards-1)]
+}
+
+// dshard maps a dentry key to its dcache stripe: FNV-1a over the name,
+// folded with the directory so same-named entries of different
+// directories spread.
+func (m *Mount) dshard(k dkey) *dcacheShard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(k.name); i++ {
+		h ^= uint64(k.name[i])
+		h *= 1099511628211
+	}
+	h ^= uint64(k.dir) * 0x9e3779b97f4a7c15
+	return &m.dcache[h&(mountShards-1)]
 }
 
 // FS exposes the mounted file system (used by tools like fsck and by the
@@ -208,9 +256,12 @@ type BlockCacheDropper interface {
 // the deterministic-replay contract is simpler to audit when no path
 // ever walks a Go map in iteration order.
 func (m *Mount) DropCaches() {
-	m.mu.Lock()
-	m.dcache = make(map[dkey]fsapi.Ino)
-	m.mu.Unlock()
+	for i := range m.dcache {
+		s := &m.dcache[i]
+		s.mu.Lock()
+		s.m = make(map[dkey]fsapi.Ino)
+		s.mu.Unlock()
+	}
 	for _, vn := range m.vnodesByIno() {
 		vn.mu.Lock()
 		dropped := vn.pc.DropClean()
@@ -227,22 +278,32 @@ func (m *Mount) DropCaches() {
 	}
 }
 
+// vnodePeek returns the resident in-core inode for ino, if any.
+func (m *Mount) vnodePeek(ino fsapi.Ino) (*vnode, bool) {
+	s := m.vshard(ino)
+	s.mu.Lock()
+	vn, ok := s.m[ino]
+	s.mu.Unlock()
+	return vn, ok
+}
+
 // vnodeFor returns (creating if needed) the in-core inode for ino.
 func (m *Mount) vnodeFor(t *Task, ino fsapi.Ino) (*vnode, error) {
-	m.mu.Lock()
-	if vn, ok := m.vnodes[ino]; ok {
-		m.mu.Unlock()
+	s := m.vshard(ino)
+	s.mu.Lock()
+	if vn, ok := s.m[ino]; ok {
+		s.mu.Unlock()
 		return vn, nil
 	}
-	m.mu.Unlock()
+	s.mu.Unlock()
 
 	st, err := m.fs.GetAttr(t, ino)
 	if err != nil {
 		return nil, err
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if vn, ok := m.vnodes[ino]; ok { // lost the race; keep the winner
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if vn, ok := s.m[ino]; ok { // lost the race; keep the winner
 		return vn, nil
 	}
 	vn := &vnode{
@@ -251,16 +312,17 @@ func (m *Mount) vnodeFor(t *Task, ino fsapi.Ino) (*vnode, error) {
 		ftype: st.Type,
 		size:  st.Size,
 	}
-	m.vnodes[ino] = vn
+	s.m[ino] = vn
 	return vn, nil
 }
 
 // vnodeFromStat installs a vnode using attributes we already hold (create
 // paths), avoiding a redundant GetAttr.
 func (m *Mount) vnodeFromStat(st fsapi.Stat) *vnode {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if vn, ok := m.vnodes[st.Ino]; ok {
+	s := m.vshard(st.Ino)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if vn, ok := s.m[st.Ino]; ok {
 		return vn
 	}
 	vn := &vnode{
@@ -269,7 +331,7 @@ func (m *Mount) vnodeFromStat(st fsapi.Stat) *vnode {
 		ftype: st.Type,
 		size:  st.Size,
 	}
-	m.vnodes[st.Ino] = vn
+	s.m[st.Ino] = vn
 	return vn
 }
 
@@ -282,31 +344,35 @@ func (m *Mount) dropVnode(vn *vnode) {
 	vn.mu.Unlock()
 	m.dirtyPages.Add(-nDirty)
 	m.totalPages.Add(-nPages)
-	m.mu.Lock()
-	delete(m.vnodes, vn.ino)
-	m.mu.Unlock()
+	s := m.vshard(vn.ino)
+	s.mu.Lock()
+	delete(s.m, vn.ino)
+	s.mu.Unlock()
 }
 
 // --- dentry cache ---
 
 func (m *Mount) dcacheGet(t *Task, dir fsapi.Ino, name string) (fsapi.Ino, bool) {
 	t.Charge(m.model.PageCacheLookup)
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ino, ok := m.dcache[dkey{dir, name}]
+	s := m.dshard(dkey{dir, name})
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ino, ok := s.m[dkey{dir, name}]
 	return ino, ok
 }
 
 func (m *Mount) dcachePut(dir fsapi.Ino, name string, ino fsapi.Ino) {
-	m.mu.Lock()
-	m.dcache[dkey{dir, name}] = ino
-	m.mu.Unlock()
+	s := m.dshard(dkey{dir, name})
+	s.mu.Lock()
+	s.m[dkey{dir, name}] = ino
+	s.mu.Unlock()
 }
 
 func (m *Mount) dcacheDrop(dir fsapi.Ino, name string) {
-	m.mu.Lock()
-	delete(m.dcache, dkey{dir, name})
-	m.mu.Unlock()
+	s := m.dshard(dkey{dir, name})
+	s.mu.Lock()
+	delete(s.m, dkey{dir, name})
+	s.mu.Unlock()
 }
 
 // --- path resolution ---
@@ -506,12 +572,15 @@ func (m *Mount) writebackAll(t *Task) error {
 // cross-vnode passes (sync, the background flusher) visit files
 // deterministically.
 func (m *Mount) vnodesByIno() []*vnode {
-	m.mu.Lock()
-	vns := make([]*vnode, 0, len(m.vnodes))
-	for _, vn := range m.vnodes {
-		vns = append(vns, vn)
+	var vns []*vnode
+	for i := range m.vnodes {
+		s := &m.vnodes[i]
+		s.mu.Lock()
+		for _, vn := range s.m {
+			vns = append(vns, vn)
+		}
+		s.mu.Unlock()
 	}
-	m.mu.Unlock()
 	sort.Slice(vns, func(i, j int) bool { return vns[i].ino < vns[j].ino })
 	return vns
 }

@@ -1,0 +1,19 @@
+package kernel
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestShardStructsFillCacheLines pins the padding math: each stripe of
+// the sharded dcache and vnode tables must be exactly one 64-byte cache
+// line, or adjacent shards in the array false-share and the sharding
+// stops buying anything on multicore hosts.
+func TestShardStructsFillCacheLines(t *testing.T) {
+	if s := unsafe.Sizeof(vnodeShard{}); s != 64 {
+		t.Errorf("vnodeShard is %d bytes, want 64 (adjacent shard locks share a cache line)", s)
+	}
+	if s := unsafe.Sizeof(dcacheShard{}); s != 64 {
+		t.Errorf("dcacheShard is %d bytes, want 64 (adjacent shard locks share a cache line)", s)
+	}
+}

@@ -111,10 +111,7 @@ func (m *Mount) Stat(t *Task, path string) (fsapi.Stat, error) {
 	if err != nil {
 		return fsapi.Stat{}, err
 	}
-	m.mu.Lock()
-	vn, ok := m.vnodes[st.Ino]
-	m.mu.Unlock()
-	if ok {
+	if vn, ok := m.vnodePeek(st.Ino); ok {
 		vn.mu.Lock()
 		st.Size = vn.size
 		vn.mu.Unlock()
@@ -472,9 +469,7 @@ func (m *Mount) Unlink(t *Task, path string) error {
 // noteUnlinked marks the vnode for discard once closed if its link count
 // reached zero, and drops it immediately when it is not open.
 func (m *Mount) noteUnlinked(t *Task, ino fsapi.Ino) {
-	m.mu.Lock()
-	vn, ok := m.vnodes[ino]
-	m.mu.Unlock()
+	vn, ok := m.vnodePeek(ino)
 	if !ok {
 		return
 	}

@@ -26,6 +26,17 @@ import (
 // channel bookings, cache fills, flusher state) are touched in exactly
 // the admission order, which is deterministic.
 //
+// Handoff: each worker owns a reusable one-slot park token channel.
+// Admission sends exactly one token to exactly the admitted worker, so a
+// slice transition is one channel send and one goroutine wakeup. (An
+// earlier revision used a sync.Cond and Broadcast, waking all n parked
+// workers per admission so that n-1 re-checked and re-slept — a
+// thundering herd that made the sequential loop ~2x more expensive per
+// operation at 8-32 workers.) A worker's pending event time is latched
+// into Worker.at when it parks — the clock cannot advance while its
+// owner is parked — so the admission min-scan reads plain fields instead
+// of hammering the clocks' atomics.
+//
 // Protocol:
 //
 //	sched := NewScheduler()
@@ -46,7 +57,6 @@ import (
 // remaining workers continue in (time, id) order.
 type Scheduler struct {
 	mu      sync.Mutex
-	cond    *sync.Cond
 	workers []*Worker
 	running *Worker
 	sealed  bool // set once the first worker parks; Register then panics
@@ -57,15 +67,15 @@ type Worker struct {
 	s      *Scheduler
 	clk    *Clock
 	id     int
+	at     int64 // pending event time, latched at park; valid while parked
 	parked bool
 	done   bool
+	wake   chan struct{} // reusable park token; 1-buffered, owned by this worker
 }
 
 // NewScheduler creates an empty scheduler.
 func NewScheduler() *Scheduler {
-	s := &Scheduler{}
-	s.cond = sync.NewCond(&s.mu)
-	return s
+	return &Scheduler{}
 }
 
 // Register adds a worker driving clk. All workers must be registered
@@ -78,7 +88,7 @@ func (s *Scheduler) Register(clk *Clock) *Worker {
 	if s.sealed {
 		panic("vclock: Scheduler.Register after a worker began")
 	}
-	w := &Worker{s: s, clk: clk, id: len(s.workers)}
+	w := &Worker{s: s, clk: clk, id: len(s.workers), wake: make(chan struct{}, 1)}
 	s.workers = append(s.workers, w)
 	return w
 }
@@ -89,27 +99,47 @@ func (w *Worker) Clock() *Clock { return w.clk }
 // ID reports the worker's registration index (the tie-break key).
 func (w *Worker) ID() int { return w.id }
 
+// park records the worker's pending event and blocks until a token
+// arrives: admission (run the next slice) or retirement (stop). When the
+// admission scan picks the parking worker itself — every slice of a
+// 1-thread cell, and any slice whose worker is still the global minimum
+// — the handoff short-circuits with no channel traffic at all. The
+// token send happens-after the sender's writes to w.done, so the
+// post-receive read needs no lock. Caller holds s.mu; park drops it
+// before blocking.
+func (w *Worker) park() bool {
+	s := w.s
+	w.at = w.clk.NowNS()
+	w.parked = true
+	next := s.pickLocked()
+	if next == w {
+		s.mu.Unlock()
+		return true
+	}
+	if next != nil {
+		next.wake <- struct{}{}
+	}
+	s.mu.Unlock()
+	<-w.wake
+	return !w.done
+}
+
 // Begin parks the worker until the coordinator admits it for its first
 // slice. Every registered worker must eventually call Begin (or Done),
 // or the whole group stalls waiting for the roster to assemble. It
 // reports whether the worker was admitted: false means a supervisor
-// retired it while parked, and the caller must not run — a retired
-// worker executing anyway would mutate shared state outside the
-// one-runner discipline.
+// retired it while parked (or before it began), and the caller must not
+// run — a retired worker executing anyway would mutate shared state
+// outside the one-runner discipline.
 func (w *Worker) Begin() bool {
 	s := w.s
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.sealed = true
-	w.parked = true
-	s.admitLocked()
-	for s.running != w {
-		if w.done {
-			return false // retired while parked (Done from a supervisor)
-		}
-		s.cond.Wait()
+	if w.done {
+		s.mu.Unlock()
+		return false // retired before it ever began
 	}
-	return true
+	s.sealed = true
+	return w.park()
 }
 
 // Yield is a scheduling point: the worker parks its current clock as its
@@ -122,20 +152,11 @@ func (w *Worker) Begin() bool {
 func (w *Worker) Yield() bool {
 	s := w.s
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.running != w {
 		panic(fmt.Sprintf("vclock: Yield from worker %d which is not running", w.id))
 	}
 	s.running = nil
-	w.parked = true
-	s.admitLocked()
-	for s.running != w {
-		if w.done {
-			return false
-		}
-		s.cond.Wait()
-	}
-	return true
+	return w.park()
 }
 
 // Done retires the worker and admits the next pending one. The worker's
@@ -181,29 +202,34 @@ func (w *Worker) Retire() {
 	w.retireLocked()
 }
 
-// retireLocked marks the worker done and hands the slice on. Caller
-// holds s.mu.
+// retireLocked marks the worker done, wakes it if it is parked (it
+// observes done and unwinds), and hands the slice on. Caller holds s.mu.
 func (w *Worker) retireLocked() {
 	s := w.s
 	w.done = true
-	w.parked = false
 	if s.running == w {
 		s.running = nil
 	}
-	s.admitLocked()
-	// admitLocked broadcasts only when it admits; wake parked workers
-	// unconditionally so one retired while parked observes its own done
-	// flag rather than sleeping forever.
-	s.cond.Broadcast()
+	if w.parked {
+		// Sole pending token: a parked worker consumed its previous token
+		// before running, and retirement clears parked before any other
+		// send could target it, so the 1-slot buffer cannot be full.
+		w.parked = false
+		w.wake <- struct{}{}
+	}
+	if next := s.pickLocked(); next != nil {
+		next.wake <- struct{}{} // a retired worker is never picked, so next != w
+	}
 }
 
-// admitLocked grants the next slice: if no worker is running and every
+// pickLocked selects the next slice: if no worker is running and every
 // live worker has parked (the roster is assembled), the parked worker
-// with the minimal (virtual time, id) event is admitted. Caller holds
-// s.mu.
-func (s *Scheduler) admitLocked() {
+// with the minimal (virtual time, id) event is marked running and
+// returned; the caller delivers its park token (or short-circuits when
+// it picked itself). Caller holds s.mu.
+func (s *Scheduler) pickLocked() *Worker {
 	if s.running != nil {
-		return
+		return nil
 	}
 	var next *Worker
 	for _, w := range s.workers {
@@ -211,20 +237,18 @@ func (s *Scheduler) admitLocked() {
 			continue
 		}
 		if !w.parked {
-			return // a live worker has not reached Begin/Yield yet
+			return nil // a live worker has not reached Begin/Yield yet
 		}
-		if next == nil {
-			next = w
-			continue
-		}
-		if n, m := w.clk.NowNS(), next.clk.NowNS(); n < m || (n == m && w.id < next.id) {
+		// Ids ascend in roster order, so strictly-less keeps the earliest
+		// id among equal times without comparing ids.
+		if next == nil || w.at < next.at {
 			next = w
 		}
 	}
 	if next == nil {
-		return // everyone retired
+		return nil // everyone retired
 	}
 	next.parked = false
 	s.running = next
-	s.cond.Broadcast()
+	return next
 }
