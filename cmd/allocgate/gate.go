@@ -1,0 +1,224 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Cell is one benchmark's allocation measurement. Name is the benchmark
+// path with the GOMAXPROCS suffix stripped ("BenchmarkAllocs/Bento/stat",
+// not ".../stat-8") so budgets compare across machines.
+type Cell struct {
+	Name        string `json:"name"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"` // context only; never gates
+}
+
+// benchLine matches one `go test -bench -benchmem` result line:
+//
+//	BenchmarkAllocs/Bento/stat-8   200   469.3 ns/op   0 B/op   0 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(-\d+)?\s+\d+\s+[\d.]+ ns/op(?:\s+[\d.]+ \S+)*?\s+(\d+) B/op\s+(\d+) allocs/op`)
+
+// ParseBench extracts allocation cells from benchmark output. Lines
+// without -benchmem columns are ignored; duplicate names keep the worst
+// (highest allocs/op) measurement, so `-count N` runs gate on the max.
+func ParseBench(r io.Reader) ([]Cell, error) {
+	byName := make(map[string]Cell)
+	order := []string{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		bytesOp, err := strconv.ParseInt(m[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", sc.Text(), err)
+		}
+		allocs, err := strconv.ParseInt(m[4], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", sc.Text(), err)
+		}
+		c := Cell{Name: m[1], AllocsPerOp: allocs, BytesPerOp: bytesOp}
+		if prev, ok := byName[c.Name]; ok {
+			if c.AllocsPerOp > prev.AllocsPerOp {
+				byName[c.Name] = c
+			}
+			continue
+		}
+		byName[c.Name] = c
+		order = append(order, c.Name)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	cells := make([]Cell, 0, len(order))
+	for _, name := range order {
+		cells = append(cells, byName[name])
+	}
+	return cells, nil
+}
+
+// ReadBudget loads a checked-in budget file.
+func ReadBudget(path string) ([]Cell, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cells []Cell
+	if err := json.Unmarshal(data, &cells); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return cells, nil
+}
+
+// WriteBudget writes cells as the new budget, sorted by name so
+// regeneration diffs cleanly.
+func WriteBudget(path string, cells []Cell) error {
+	sorted := append([]Cell(nil), cells...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	data, err := json.MarshalIndent(sorted, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Delta is one gated cell.
+type Delta struct {
+	Name           string
+	Budget, Actual int64 // allocs/op
+	Bytes          int64 // measured B/op, context
+}
+
+// Report is the outcome of gating a run against the budget.
+type Report struct {
+	Exceeded []Delta  // actual > budget: fail
+	Under    []Delta  // actual < budget: informational (budget can tighten)
+	Exact    int      // cells exactly on budget
+	Missing  []string // in budget, absent from run: fail
+	Added    []Delta  // measured but unbudgeted: informational
+}
+
+// Failed reports whether the gate should reject the run.
+func (r Report) Failed() bool { return len(r.Exceeded) > 0 || len(r.Missing) > 0 }
+
+// Compare gates measured cells against the budget.
+func Compare(budget, measured []Cell) Report {
+	var rep Report
+	byName := make(map[string]Cell, len(measured))
+	for _, c := range measured {
+		byName[c.Name] = c
+	}
+	inBudget := make(map[string]bool, len(budget))
+	for _, b := range budget {
+		inBudget[b.Name] = true
+		m, ok := byName[b.Name]
+		if !ok {
+			rep.Missing = append(rep.Missing, b.Name)
+			continue
+		}
+		d := Delta{Name: b.Name, Budget: b.AllocsPerOp, Actual: m.AllocsPerOp, Bytes: m.BytesPerOp}
+		switch {
+		case m.AllocsPerOp > b.AllocsPerOp:
+			rep.Exceeded = append(rep.Exceeded, d)
+		case m.AllocsPerOp < b.AllocsPerOp:
+			rep.Under = append(rep.Under, d)
+		default:
+			rep.Exact++
+		}
+	}
+	for _, c := range measured {
+		if !inBudget[c.Name] {
+			rep.Added = append(rep.Added, Delta{Name: c.Name, Budget: -1, Actual: c.AllocsPerOp, Bytes: c.BytesPerOp})
+		}
+	}
+	sortDeltas := func(ds []Delta) {
+		sort.Slice(ds, func(i, j int) bool { return ds[i].Name < ds[j].Name })
+	}
+	sortDeltas(rep.Exceeded)
+	sortDeltas(rep.Under)
+	sortDeltas(rep.Added)
+	sort.Strings(rep.Missing)
+	return rep
+}
+
+// Text renders the report for CI logs.
+func (r Report) Text() string {
+	out := ""
+	for _, name := range r.Missing {
+		out += fmt.Sprintf("MISSING   %-50s budgeted cell absent from run\n", name)
+	}
+	for _, d := range r.Exceeded {
+		out += fmt.Sprintf("EXCEEDED  %-50s %d allocs/op, budget %d (%d B/op)\n",
+			d.Name, d.Actual, d.Budget, d.Bytes)
+	}
+	for _, d := range r.Under {
+		out += fmt.Sprintf("under     %-50s %d allocs/op, budget %d — tighten the budget\n",
+			d.Name, d.Actual, d.Budget)
+	}
+	for _, d := range r.Added {
+		out += fmt.Sprintf("added     %-50s %d allocs/op, unbudgeted (regenerate the budget to gate it)\n",
+			d.Name, d.Actual)
+	}
+	verdict := "OK"
+	if r.Failed() {
+		verdict = "FAIL"
+	}
+	out += fmt.Sprintf("allocgate: %s — %d on budget, %d exceeded, %d missing, %d under, %d added\n",
+		verdict, r.Exact, len(r.Exceeded), len(r.Missing), len(r.Under), len(r.Added))
+	return out
+}
+
+// Markdown renders the report for the CI step summary: verdict first,
+// then per-cell tables so an exceedance names its cell without anyone
+// digging through job logs.
+func (r Report) Markdown() string {
+	var b strings.Builder
+	verdict := "✅ OK"
+	if r.Failed() {
+		verdict = "❌ FAIL"
+	}
+	fmt.Fprintf(&b, "## allocgate: %s\n\n", verdict)
+	fmt.Fprintf(&b, "%d cells on budget, %d exceeded, %d missing, %d under budget, %d unbudgeted\n\n",
+		r.Exact, len(r.Exceeded), len(r.Missing), len(r.Under), len(r.Added))
+	table := func(title string, ds []Delta, note string) {
+		if len(ds) == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "### %s\n\n", title)
+		b.WriteString("| cell | allocs/op | budget | B/op |\n|---|---:|---:|---:|\n")
+		for _, d := range ds {
+			budget := strconv.FormatInt(d.Budget, 10)
+			if d.Budget < 0 {
+				budget = "—"
+			}
+			fmt.Fprintf(&b, "| `%s` | %d | %s | %d |\n", d.Name, d.Actual, budget, d.Bytes)
+		}
+		b.WriteByte('\n')
+		if note != "" {
+			b.WriteString(note + "\n\n")
+		}
+	}
+	table("Exceedances (fail)", r.Exceeded,
+		"Fix the allocation, or regenerate `ALLOC_budget.json` if the cost is intentional.")
+	if len(r.Missing) > 0 {
+		b.WriteString("### Missing cells (fail)\n\n")
+		for _, name := range r.Missing {
+			fmt.Fprintf(&b, "- `%s` — budgeted but absent from the run\n", name)
+		}
+		b.WriteByte('\n')
+	}
+	table("Under budget (tighten the budget)", r.Under, "")
+	table("Unbudgeted cells (regenerate the budget to gate them)", r.Added, "")
+	return b.String()
+}

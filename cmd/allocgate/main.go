@@ -1,0 +1,96 @@
+// allocgate is the CI allocation-budget gate: it parses `go test
+// -bench -benchmem` output and compares each benchmark's allocs/op
+// against the checked-in budget, exiting nonzero on any exceedance —
+// the allocation analogue of the benchdiff throughput gate.
+//
+// Usage:
+//
+//	go test -run '^$' -bench '^BenchmarkAllocs' -benchmem | \
+//	    allocgate -budget ALLOC_budget.json [-md summary.md]
+//
+// Regenerate the budget after an intentional change:
+//
+//	go test -run '^$' -bench '^BenchmarkAllocs' -benchmem | \
+//	    allocgate -update ALLOC_budget.json
+//
+// The budget is a ceiling, not a snapshot: a cell measuring fewer
+// allocations than budgeted passes (and is reported, so the budget can
+// be tightened); one allocation over fails. Cells present in the budget
+// but missing from the run fail too — losing coverage silently would
+// hollow out the gate. New cells pass with a notice; commit a
+// regenerated budget alongside the change that adds them.
+//
+// Allocation counts gate; bytes/op is recorded for context only (B/op
+// can be nonzero at 0 allocs/op from amortized growth, and byte sizes
+// shift with struct layout in ways that aren't regressions).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	budgetPath := flag.String("budget", "ALLOC_budget.json", "checked-in allocation budget to gate against")
+	update := flag.String("update", "", "write a fresh budget to this path from the measured run instead of gating")
+	newPath := flag.String("new", "", "read benchmark output from this file instead of stdin")
+	mdPath := flag.String("md", "", "append a Markdown report to this file (CI passes $GITHUB_STEP_SUMMARY)")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if *newPath != "" {
+		f, err := os.Open(*newPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "allocgate: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+	cells, err := ParseBench(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "allocgate: %v\n", err)
+		os.Exit(2)
+	}
+	if len(cells) == 0 {
+		fmt.Fprintln(os.Stderr, "allocgate: no -benchmem benchmark lines in input")
+		os.Exit(2)
+	}
+
+	if *update != "" {
+		if err := WriteBudget(*update, cells); err != nil {
+			fmt.Fprintf(os.Stderr, "allocgate: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("allocgate: wrote %d cells to %s\n", len(cells), *update)
+		return
+	}
+
+	budget, err := ReadBudget(*budgetPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "allocgate: %v\n", err)
+		os.Exit(2)
+	}
+	rep := Compare(budget, cells)
+	fmt.Print(rep.Text())
+	if *mdPath != "" {
+		f, err := os.OpenFile(*mdPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "allocgate: %v\n", err)
+			os.Exit(2)
+		}
+		_, werr := f.WriteString(rep.Markdown())
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "allocgate: writing %s: %v\n", *mdPath, werr)
+			os.Exit(2)
+		}
+	}
+	if rep.Failed() {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: bento
+BenchmarkAllocs/Bento/read4k-8         	     200	       414.9 ns/op	       0 B/op	       0 allocs/op
+BenchmarkAllocs/Bento/stat-8           	     200	       469.3 ns/op	       0 B/op	       0 allocs/op
+BenchmarkAllocs/C-Kernel/create-8      	     200	     15883 ns/op	     755 B/op	       8 allocs/op
+BenchmarkAllocs/FUSE/stat-8            	     200	      1084 ns/op	     336 B/op	       5 allocs/op
+PASS
+ok  	bento	2.733s
+`
+
+func TestParseBench(t *testing.T) {
+	cells, err := ParseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Cell{
+		{Name: "BenchmarkAllocs/Bento/read4k", AllocsPerOp: 0, BytesPerOp: 0},
+		{Name: "BenchmarkAllocs/Bento/stat", AllocsPerOp: 0, BytesPerOp: 0},
+		{Name: "BenchmarkAllocs/C-Kernel/create", AllocsPerOp: 8, BytesPerOp: 755},
+		{Name: "BenchmarkAllocs/FUSE/stat", AllocsPerOp: 5, BytesPerOp: 336},
+	}
+	if len(cells) != len(want) {
+		t.Fatalf("parsed %d cells, want %d: %+v", len(cells), len(want), cells)
+	}
+	for i, w := range want {
+		if cells[i] != w {
+			t.Errorf("cell %d = %+v, want %+v", i, cells[i], w)
+		}
+	}
+}
+
+// TestParseBenchKeepsWorst: with -count N the same benchmark appears
+// multiple times; the gate must use the worst measurement.
+func TestParseBenchKeepsWorst(t *testing.T) {
+	in := `BenchmarkAllocs/Bento/create-8  200  25000 ns/op  2600 B/op  48 allocs/op
+BenchmarkAllocs/Bento/create-8  200  25100 ns/op  2700 B/op  52 allocs/op
+BenchmarkAllocs/Bento/create-8  200  24900 ns/op  2500 B/op  47 allocs/op
+`
+	cells, err := ParseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 || cells[0].AllocsPerOp != 52 {
+		t.Fatalf("cells = %+v, want one cell at 52 allocs/op", cells)
+	}
+}
+
+func TestParseBenchNoGomaxprocsSuffix(t *testing.T) {
+	// GOMAXPROCS=1 omits the -N suffix entirely.
+	in := "BenchmarkAllocs/Ext4/stat  	 200	 359.2 ns/op	 0 B/op	 0 allocs/op\n"
+	cells, err := ParseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 || cells[0].Name != "BenchmarkAllocs/Ext4/stat" {
+		t.Fatalf("cells = %+v", cells)
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	budget := []Cell{
+		{Name: "a/read", AllocsPerOp: 0},
+		{Name: "a/create", AllocsPerOp: 10},
+		{Name: "a/gone", AllocsPerOp: 3},
+		{Name: "a/loose", AllocsPerOp: 9},
+	}
+	measured := []Cell{
+		{Name: "a/read", AllocsPerOp: 1, BytesPerOp: 64}, // over: fail
+		{Name: "a/create", AllocsPerOp: 10},              // exact: pass
+		{Name: "a/loose", AllocsPerOp: 4},                // under: informational
+		{Name: "a/new", AllocsPerOp: 2},                  // unbudgeted: informational
+	}
+	rep := Compare(budget, measured)
+	if !rep.Failed() {
+		t.Fatal("gate passed with an exceedance and a missing cell")
+	}
+	if len(rep.Exceeded) != 1 || rep.Exceeded[0].Name != "a/read" || rep.Exceeded[0].Actual != 1 {
+		t.Errorf("Exceeded = %+v", rep.Exceeded)
+	}
+	if len(rep.Missing) != 1 || rep.Missing[0] != "a/gone" {
+		t.Errorf("Missing = %+v", rep.Missing)
+	}
+	if len(rep.Under) != 1 || rep.Under[0].Name != "a/loose" {
+		t.Errorf("Under = %+v", rep.Under)
+	}
+	if len(rep.Added) != 1 || rep.Added[0].Name != "a/new" {
+		t.Errorf("Added = %+v", rep.Added)
+	}
+	if rep.Exact != 1 {
+		t.Errorf("Exact = %d, want 1", rep.Exact)
+	}
+	text := rep.Text()
+	if !strings.Contains(text, "EXCEEDED") || !strings.Contains(text, "FAIL") {
+		t.Errorf("Text missing verdict markers:\n%s", text)
+	}
+	md := rep.Markdown()
+	if !strings.Contains(md, "## allocgate: ❌ FAIL") || !strings.Contains(md, "| `a/read` | 1 | 0 | 64 |") {
+		t.Errorf("Markdown missing table rows:\n%s", md)
+	}
+}
+
+func TestCompareCleanRun(t *testing.T) {
+	cells := []Cell{{Name: "x", AllocsPerOp: 0}, {Name: "y", AllocsPerOp: 7}}
+	rep := Compare(cells, cells)
+	if rep.Failed() {
+		t.Fatalf("identical run failed the gate: %s", rep.Text())
+	}
+	if rep.Exact != 2 {
+		t.Errorf("Exact = %d, want 2", rep.Exact)
+	}
+	if !strings.Contains(rep.Markdown(), "✅ OK") {
+		t.Error("clean Markdown report missing OK verdict")
+	}
+}
+
+func TestBudgetRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "budget.json")
+	cells := []Cell{
+		{Name: "z/last", AllocsPerOp: 3, BytesPerOp: 100},
+		{Name: "a/first", AllocsPerOp: 0, BytesPerOp: 0},
+	}
+	if err := WriteBudget(path, cells); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBudget(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Written sorted by name.
+	if len(got) != 2 || got[0].Name != "a/first" || got[1].Name != "z/last" {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if got[1].AllocsPerOp != 3 || got[1].BytesPerOp != 100 {
+		t.Errorf("cell values lost: %+v", got[1])
+	}
+}

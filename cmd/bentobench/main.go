@@ -12,6 +12,8 @@
 //	bentobench -shards 8        # add the sharded-buffer-cache Bento row
 //	bentobench -noiod           # disable background I/O (read-ahead + flusher)
 //	bentobench -databypass=false # re-enable data double-caching (seed behaviour)
+//	bentobench -cpuprofile cpu.pb.gz   # pprof CPU profile of the cell matrix
+//	bentobench -memprofile mem.pb.gz   # pprof allocation profile at exit
 //
 // Cells of every selected experiment run on one shared host-worker pool;
 // results are assembled in plan order, so the -json output is
@@ -40,7 +42,15 @@ func main() {
 	shards := flag.Int("shards", 0, "buffer-cache shards for the Bento-shard study row (>1 to enable)")
 	noiod := flag.Bool("noiod", false, "disable the background I/O subsystem on the in-kernel variants")
 	databypass := flag.Bool("databypass", true, "single-copy data caching: file contents bypass the buffer cache on the in-kernel variants (false restores the seed's double-caching)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the benchmark run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof allocation profile (runtime \"allocs\") to this file at exit")
 	flag.Parse()
+
+	stopProfiles, err := harness.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bentobench: profiling: %v\n", err)
+		os.Exit(1)
+	}
 
 	o := harness.Defaults()
 	if *quick {
@@ -67,6 +77,12 @@ func main() {
 	results, err := harness.RunMatrix(ids, o)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bentobench: %v\n", err)
+		os.Exit(1)
+	}
+	// Close profiles here so the CPU profile covers the cell matrix, not
+	// the table/JSON assembly below.
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintf(os.Stderr, "bentobench: profiling: %v\n", err)
 		os.Exit(1)
 	}
 	records := []harness.Record{} // non-nil: -json always prints an array

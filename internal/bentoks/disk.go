@@ -38,6 +38,12 @@ type Disk interface {
 	// BReadNoFill returns a zeroed buffer for a block about to be fully
 	// overwritten.
 	BReadNoFill(t *kernel.Task, blk int) (Buffer, error)
+	// ReadBlockRange copies block blk's bytes [off, off+len(dst)) into
+	// dst — BRead + copy + Release fused into one framework-internal
+	// borrow. Metadata read paths use it so a cache hit allocates no
+	// wrapper; the borrow cannot be leaked or used after release because
+	// it never escapes the call.
+	ReadBlockRange(t *kernel.Task, blk, off int, dst []byte) error
 	// BReadDirect reads blk straight into buf (one block) without
 	// populating any block cache — the single-copy data path. File
 	// systems use it for file contents so data lives only in the page

@@ -26,6 +26,7 @@ import (
 	"bento/internal/blockdev"
 	"bento/internal/fsapi"
 	"bento/internal/kernel"
+	"bento/internal/lru"
 	"bento/internal/xv6/layout"
 )
 
@@ -178,6 +179,7 @@ func (tt Type) Mount(t *kernel.Task, dev *blockdev.Device) (kernel.FileSystem, e
 		dev:    dev,
 		inodes: make(map[uint32]*inode),
 		dirIdx: make(map[uint32]map[string]uint32),
+		wbPool: lru.NewBufPool(wbChunk * fsapi.PageSize),
 	}
 	buf := make([]byte, layout.BlockSize)
 	if err := dev.Read(t.Clk, 1, buf); err != nil {
@@ -210,6 +212,27 @@ type inode struct {
 	mu    sync.Mutex
 	valid bool
 	din   layout.Dinode
+
+	// freeNext chains released in-core inodes into the FS freelist
+	// (guarded by itabMu) so warm iget calls stop allocating.
+	freeNext *inode
+
+	// Per-inode scratch, guarded by mu. dent holds one directory record;
+	// bounce (lazily allocated, deliberately retained across freelist
+	// recycling) holds one block for partial direct I/O and directory
+	// scans — directories never take the direct path, so the two uses
+	// cannot overlap.
+	dent   [layout.DirentSize]byte
+	bounce []byte
+}
+
+// bounceBuf returns the inode's lazily-allocated block scratch. Caller
+// holds ip.mu.
+func (ip *inode) bounceBuf() []byte {
+	if ip.bounce == nil {
+		ip.bounce = make([]byte, layout.BlockSize)
+	}
+	return ip.bounce
 }
 
 // FS is a mounted ext4 instance.
@@ -238,6 +261,10 @@ type FS struct {
 
 	itabMu sync.Mutex
 	inodes map[uint32]*inode
+	ifree  *inode // freelist of released in-core inodes
+
+	// wbPool stages WritePages chunks (wbChunk pages per handle).
+	wbPool *lru.BufPool
 
 	dirIdxMu sync.Mutex
 	dirIdx   map[uint32]map[string]uint32 // the htree stand-in

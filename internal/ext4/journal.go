@@ -194,8 +194,13 @@ func (fs *FS) commitLocked(t *kernel.Task) error {
 	}
 
 	fs.jMu.Lock()
-	fs.txnBlocks = nil
-	fs.inTxn = make(map[uint32]bool)
+	// Reset in place: slice capacity and map buckets carry over to the
+	// next compound transaction instead of reallocating each commit. Safe
+	// because beginHandle blocks while committing, so no jwrite can
+	// append between commitIO consuming `blocks` (an alias of txnBlocks)
+	// and this reset.
+	fs.txnBlocks = fs.txnBlocks[:0]
+	clear(fs.inTxn)
 	fs.committing = false
 	fs.commitSeq++
 	fs.commits++

@@ -147,7 +147,17 @@ func (fs *FS) iget(inum uint32) *inode {
 		ip.ref++
 		return ip
 	}
-	ip := &inode{inum: inum, ref: 1}
+	ip := fs.ifree
+	if ip != nil {
+		fs.ifree = ip.freeNext
+		ip.freeNext = nil
+		ip.inum = inum
+		ip.ref = 1
+		ip.valid = false
+		ip.din = layout.Dinode{}
+	} else {
+		ip = &inode{inum: inum, ref: 1}
+	}
 	fs.inodes[inum] = ip
 	return ip
 }
@@ -223,6 +233,8 @@ func (fs *FS) iput(t *kernel.Task, ip *inode, hasHandle bool) error {
 	ip.ref--
 	if ip.ref == 0 {
 		delete(fs.inodes, ip.inum)
+		ip.freeNext = fs.ifree
+		fs.ifree = ip
 	}
 	fs.itabMu.Unlock()
 	return nil
@@ -250,15 +262,20 @@ func (fs *FS) bmap(t *kernel.Task, ip *inode, bn uint64, alloc bool) (blk uint32
 		}
 		return ip.din.Addrs[bn], false, nil
 	}
-	var idxs []int
+	// Fixed-size index array: a []int literal here would heap-allocate on
+	// every indirect-block map.
+	var idxs [2]int
+	depth := 1
 	var slot *uint32
 	if bn < layout.NDirect+layout.NIndirect {
 		slot = &ip.din.Addrs[layout.IndirectSlot]
-		idxs = []int{int(bn - layout.NDirect)}
+		idxs[0] = int(bn - layout.NDirect)
 	} else {
 		off := bn - layout.NDirect - layout.NIndirect
 		slot = &ip.din.Addrs[layout.DIndirectSlot]
-		idxs = []int{int(off / layout.NIndirect), int(off % layout.NIndirect)}
+		idxs[0] = int(off / layout.NIndirect)
+		idxs[1] = int(off % layout.NIndirect)
+		depth = 2
 	}
 	cur := *slot
 	if cur == 0 {
@@ -275,8 +292,9 @@ func (fs *FS) bmap(t *kernel.Task, ip *inode, bn uint64, alloc bool) (blk uint32
 		}
 		cur = a
 	}
-	for lvl, idx := range idxs {
-		leaf := lvl == len(idxs)-1
+	for lvl := 0; lvl < depth; lvl++ {
+		idx := idxs[lvl]
+		leaf := lvl == depth-1
 		bh, err := fs.bc.Get(t, int(cur))
 		if err != nil {
 			return 0, false, err
@@ -392,7 +410,7 @@ func (fs *FS) readi(t *kernel.Task, ip *inode, off int64, buf []byte) (int, erro
 			}
 		case direct:
 			if bounce == nil {
-				bounce = make([]byte, layout.BlockSize)
+				bounce = ip.bounceBuf()
 			}
 			if err := fs.bc.ReadDirect(t, int(blk), bounce); err != nil {
 				return int(done), err
@@ -445,7 +463,7 @@ func (fs *FS) writei(t *kernel.Task, ip *inode, off int64, buf []byte) (int, err
 				// leaf orphaned by a failed direct write, which skipped
 				// balloc's zeroing); device content otherwise.
 				if bounce == nil {
-					bounce = make([]byte, layout.BlockSize)
+					bounce = ip.bounceBuf()
 				}
 				if fresh || int64(bn)*layout.BlockSize >= int64(ip.din.Size) {
 					clear(bounce)

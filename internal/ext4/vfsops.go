@@ -6,26 +6,24 @@ import (
 	"bento/internal/xv6/layout"
 )
 
-// dirEnt is an entry in the in-memory directory index (htree stand-in):
-// the child inode and the record's byte offset in the directory file.
-type dirEnt struct {
-	ino uint32
-	off int64
-}
-
-// dirIndexFor returns the index for dp, building it on first use by
-// scanning the directory once. Caller holds dp.mu.
-func (fs *FS) dirIndexFor(t *kernel.Task, dp *inode) (map[string]dirEnt, error) {
+// dirIndexFor returns the name->inum index for dp (the htree stand-in),
+// building it on first use by scanning the directory once. The cached
+// map is returned directly — callers only probe or iterate it under
+// dp.mu, so no defensive copy is made (the old per-call copy was an
+// allocation on every warm lookup). Caller holds dp.mu.
+func (fs *FS) dirIndexFor(t *kernel.Task, dp *inode) (map[string]uint32, error) {
 	fs.dirIdxMu.Lock()
-	if raw, ok := fs.dirIdx[dp.inum]; ok {
+	if idx, ok := fs.dirIdx[dp.inum]; ok {
 		fs.dirIdxMu.Unlock()
-		return castIdx(raw), nil
+		return idx, nil
 	}
 	fs.dirIdxMu.Unlock()
 
-	idx := make(map[string]dirEnt)
+	idx := make(map[string]uint32)
 	size := int64(dp.din.Size)
-	buf := make([]byte, layout.BlockSize)
+	// dp's block scratch is free here: directories never take the direct
+	// path, so readi on a directory cannot touch it.
+	buf := dp.bounceBuf()
 	for base := int64(0); base < size; base += layout.BlockSize {
 		n := size - base
 		if n > layout.BlockSize {
@@ -37,32 +35,14 @@ func (fs *FS) dirIndexFor(t *kernel.Task, dp *inode) (map[string]dirEnt, error) 
 		for o := int64(0); o < n; o += layout.DirentSize {
 			de := layout.DecodeDirent(buf[o:])
 			if de.Ino != 0 {
-				idx[de.Name] = dirEnt{ino: de.Ino, off: base + o}
+				idx[de.Name] = de.Ino
 			}
 		}
 	}
 	fs.dirIdxMu.Lock()
-	fs.dirIdx[dp.inum] = encodeIdx(idx)
+	fs.dirIdx[dp.inum] = idx
 	fs.dirIdxMu.Unlock()
 	return idx, nil
-}
-
-// The index is stored as map[string]uint32 pairs packed in a generic map
-// to keep the FS struct simple; helpers convert.
-func encodeIdx(idx map[string]dirEnt) map[string]uint32 {
-	out := make(map[string]uint32, len(idx))
-	for k, v := range idx {
-		out[k] = v.ino
-	}
-	return out
-}
-
-func castIdx(raw map[string]uint32) map[string]dirEnt {
-	out := make(map[string]dirEnt, len(raw))
-	for k, v := range raw {
-		out[k] = dirEnt{ino: v, off: -1}
-	}
-	return out
 }
 
 // idxPut/idxDel maintain the index incrementally.
@@ -99,16 +79,16 @@ func (fs *FS) dirlookup(t *kernel.Task, dp *inode, name string, needOff bool) (u
 		return 0, 0, err
 	}
 	t.Charge(t.Model().PageCacheLookup) // hash probe
-	ent, ok := idx[name]
+	ino, ok := idx[name]
 	if !ok {
 		return 0, 0, fsapi.ErrNotExist
 	}
 	if !needOff {
-		return ent.ino, -1, nil
+		return ino, -1, nil
 	}
 	// Find the record offset (scan; mutation paths only).
 	size := int64(dp.din.Size)
-	rec := make([]byte, layout.DirentSize)
+	rec := dp.dent[:]
 	for o := int64(0); o < size; o += layout.DirentSize {
 		if _, err := fs.readi(t, dp, o, rec); err != nil {
 			return 0, 0, err
@@ -131,7 +111,7 @@ func (fs *FS) dirlink(t *kernel.Task, dp *inode, name string, inum uint32) error
 		return fsapi.ErrExist
 	}
 	size := int64(dp.din.Size)
-	rec := make([]byte, layout.DirentSize)
+	rec := dp.dent[:]
 	off := size
 	for o := int64(0); o < size; o += layout.DirentSize {
 		if _, err := fs.readi(t, dp, o, rec); err != nil {
@@ -152,9 +132,12 @@ func (fs *FS) dirlink(t *kernel.Task, dp *inode, name string, inum uint32) error
 	return nil
 }
 
+// zeroDirent is the all-zero record dirunlink writes; writei only reads
+// its source, so one shared instance serves every unlink.
+var zeroDirent [layout.DirentSize]byte
+
 func (fs *FS) dirunlink(t *kernel.Task, dp *inode, name string, off int64) error {
-	zero := make([]byte, layout.DirentSize)
-	if _, err := fs.writei(t, dp, off, zero); err != nil {
+	if _, err := fs.writei(t, dp, off, zeroDirent[:]); err != nil {
 		return err
 	}
 	fs.idxDel(dp.inum, name)
@@ -518,7 +501,7 @@ func (fs *FS) Rename(t *kernel.Task, odir fsapi.Ino, oname string, ndir fsapi.In
 			src.mu.Unlock()
 			return err
 		}
-		rec := make([]byte, layout.DirentSize)
+		rec := src.dent[:]
 		if err := layout.EncodeDirent(layout.Dirent{Ino: ndp.inum, Name: ".."}, rec); err != nil {
 			src.mu.Unlock()
 			return err
@@ -590,7 +573,7 @@ func (fs *FS) ReadDir(t *kernel.Task, dir fsapi.Ino) ([]fsapi.DirEntry, error) {
 		return nil, fsapi.ErrNotDir
 	}
 	size := int64(dp.din.Size)
-	buf := make([]byte, layout.BlockSize)
+	buf := dp.bounceBuf()
 	var out []fsapi.DirEntry
 	for base := int64(0); base < size; base += layout.BlockSize {
 		n := size - base
@@ -666,15 +649,20 @@ func (fs *FS) WritePage(t *kernel.Task, ino fsapi.Ino, pg int64, buf []byte, new
 	return fs.WritePages(t, ino, pg, [][]byte{buf}, newSize)
 }
 
+// wbChunk is the data pages journaled per handle by WritePages.
+const wbChunk = 32
+
 // WritePages implements kernel.BatchWriter: the run is journaled in
 // chunks bounded by the per-handle credit, all within compound
-// transactions (data=journal).
+// transactions (data=journal). The staging buffer comes from wbPool, so
+// steady-state write-back allocates nothing.
 func (fs *FS) WritePages(t *kernel.Task, ino fsapi.Ino, pg int64, pages [][]byte, newSize int64) error {
-	const chunk = 32 // data pages per handle
 	ip := fs.iget(uint32(ino))
 	defer fs.iput(t, ip, false)
-	for start := 0; start < len(pages); start += chunk {
-		end := start + chunk
+	stage := fs.wbPool.Get()
+	defer fs.wbPool.Put(stage)
+	for start := 0; start < len(pages); start += wbChunk {
+		end := start + wbChunk
 		if end > len(pages) {
 			end = len(pages)
 		}
@@ -686,7 +674,7 @@ func (fs *FS) WritePages(t *kernel.Task, ino fsapi.Ino, pg int64, pages [][]byte
 		if off+total > newSize {
 			total = newSize - off
 		}
-		data := make([]byte, total)
+		data := stage[:total]
 		var copied int64
 		for _, p := range pages[start:end] {
 			if copied >= total {
@@ -698,6 +686,11 @@ func (fs *FS) WritePages(t *kernel.Task, ino fsapi.Ino, pg int64, pages [][]byte
 			}
 			copy(data[copied:], p[:n])
 			copied += n
+		}
+		if copied < total {
+			// The pooled buffer holds a previous borrower's bytes where a
+			// fresh make() held zeros; keep the old semantics for short runs.
+			clear(data[copied:total])
 		}
 		fs.beginHandle(t, maxHandleBlocks)
 		if err := fs.ilock(t, ip); err != nil {

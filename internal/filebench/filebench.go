@@ -152,9 +152,9 @@ func (c *MicroConfig) defaults() {
 	}
 }
 
-// patternChunk returns the shared 1 MiB fill pattern for prepareFile.
-// It is generated once: prepareFile runs for every thread of every
-// workload, and callers only read the chunk.
+// patternChunk returns the shared 1 MiB fill pattern. It is generated
+// once: every writer workload sources its payload from this chunk, and
+// callers only ever read it — writers slice it via pattern, never copy.
 var patternChunk = sync.OnceValue(func() []byte {
 	chunk := make([]byte, 1<<20)
 	for i := range chunk {
@@ -162,6 +162,17 @@ var patternChunk = sync.OnceValue(func() []byte {
 	}
 	return chunk
 })
+
+// pattern returns an n-byte read-only payload backed by the shared
+// chunk: no per-worker (let alone per-op) copy of the fill pattern is
+// ever made. Callers must not mutate the result. Sizes beyond the chunk
+// fall back to a fresh zero buffer (no current workload needs one).
+func pattern(n int) []byte {
+	if chunk := patternChunk(); n <= len(chunk) {
+		return chunk[:n]
+	}
+	return make([]byte, n)
+}
 
 // prepareFile creates and writes a per-thread working file, then syncs so
 // the measured phase starts from a clean, cached state.
@@ -273,10 +284,7 @@ func WriteMicro(tg Target, cfg MicroConfig) (Result, error) {
 			}
 			defer tg.M.Close(task, f)
 			rng := rand.New(rand.NewSource(cfg.Seed + 77 + int64(w)))
-			buf := make([]byte, cfg.IOSize)
-			for i := range buf {
-				buf[i] = byte(w + i)
-			}
+			buf := pattern(cfg.IOSize) // write source only; shared read-only chunk
 			slots := cfg.FileSize / int64(cfg.IOSize)
 			if slots < 1 {
 				slots = 1
@@ -344,7 +352,7 @@ func CreateFiles(tg Target, cfg MetaConfig) (Result, error) {
 			return Result{}, err
 		}
 	}
-	payload := make([]byte, cfg.FileSize)
+	payload := pattern(cfg.FileSize)
 	name := fmt.Sprintf("createfiles-%dt", cfg.Threads)
 	res := runWorkers(tg, name, cfg.Threads, setup.Clk.Now(), cfg.Duration,
 		func(w int, task *kernel.Task, deadline int64, pace func()) (int64, int64, error) {
@@ -383,7 +391,7 @@ func CreateFiles(tg Target, cfg MetaConfig) (Result, error) {
 func DeleteFiles(tg Target, cfg MetaConfig) (Result, error) {
 	cfg.defaults()
 	setup := tg.K.NewTask("setup")
-	payload := make([]byte, 4096)
+	payload := pattern(4096)
 	for w := 0; w < cfg.Threads; w++ {
 		dir := fmt.Sprintf("/delete%d", w)
 		if err := tg.M.Mkdir(setup, dir); err != nil {

@@ -38,12 +38,12 @@ func Varmail(tg Target, cfg MacroConfig) (Result, error) {
 		cfg.Duration = time.Second
 	}
 	setup := tg.K.NewTask("setup")
+	payload := pattern(cfg.MeanSize)
 	for w := 0; w < cfg.Threads; w++ {
 		dir := fmt.Sprintf("/mail%d", w)
 		if err := tg.M.Mkdir(setup, dir); err != nil {
 			return Result{}, err
 		}
-		payload := make([]byte, cfg.MeanSize)
 		for i := 0; i < cfg.Files; i++ {
 			if err := tg.M.WriteFile(setup, fmt.Sprintf("%s/m%05d", dir, i), payload); err != nil {
 				return Result{}, err
@@ -59,7 +59,7 @@ func Varmail(tg Target, cfg MacroConfig) (Result, error) {
 		func(w int, task *kernel.Task, deadline int64, pace func()) (int64, int64, error) {
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
 			dir := fmt.Sprintf("/mail%d", w)
-			appendBuf := make([]byte, cfg.MeanSize/2)
+			appendBuf := pattern(cfg.MeanSize / 2) // write source only
 			next := cfg.Files
 			var ops, bytes int64
 			for task.Clk.NowNS() < deadline && (cfg.MaxOps == 0 || ops < cfg.MaxOps) {
@@ -141,7 +141,7 @@ func Fileserver(tg Target, cfg MacroConfig) (Result, error) {
 		cfg.Duration = time.Second
 	}
 	setup := tg.K.NewTask("setup")
-	payload := make([]byte, cfg.MeanSize)
+	payload := pattern(cfg.MeanSize)
 	for w := 0; w < cfg.Threads; w++ {
 		dir := fmt.Sprintf("/srv%d", w)
 		if err := tg.M.Mkdir(setup, dir); err != nil {
@@ -162,7 +162,7 @@ func Fileserver(tg Target, cfg MacroConfig) (Result, error) {
 		func(w int, task *kernel.Task, deadline int64, pace func()) (int64, int64, error) {
 			rng := rand.New(rand.NewSource(cfg.Seed + 1000 + int64(w)))
 			dir := fmt.Sprintf("/srv%d", w)
-			appendBuf := make([]byte, 16<<10)
+			appendBuf := pattern(16 << 10) // write source only
 			next := cfg.Files
 			var ops, bytes int64
 			for task.Clk.NowNS() < deadline && (cfg.MaxOps == 0 || ops < cfg.MaxOps) {

@@ -98,10 +98,7 @@ func StreamWrite(tg Target, cfg StreamConfig) (Result, error) {
 				return 0, 0, err
 			}
 			defer tg.M.Close(task, f)
-			buf := make([]byte, cfg.IOSize)
-			for i := range buf {
-				buf[i] = byte(w + i*7)
-			}
+			buf := pattern(cfg.IOSize) // write source only; shared read-only chunk
 			var ops, bytes int64
 			for bytes < cfg.FileSize && task.Clk.NowNS() < deadline {
 				pace()

@@ -100,6 +100,24 @@ func (ud *UserDisk) get(t *kernel.Task, blk int, fill bool) (bentoks.Buffer, err
 	return b, nil
 }
 
+// ReadBlockRange implements bentoks.Disk: a user-cache borrow bracketed
+// inside the call (BRead + copy + Release fused), with the same cost
+// shape as BRead.
+func (ud *UserDisk) ReadBlockRange(t *kernel.Task, blk, off int, dst []byte) error {
+	b, err := ud.get(t, blk, true)
+	if err != nil {
+		return err
+	}
+	ub := b.(*ubuf)
+	if off < 0 || off+len(dst) > len(ub.data) {
+		_ = b.Release()
+		return fmt.Errorf("userdisk: range [%d:%d) of %d-byte block %d: %w",
+			off, off+len(dst), len(ub.data), blk, fsapi.ErrInvalid)
+	}
+	copy(dst, ub.data[off:off+len(dst)])
+	return b.Release()
+}
+
 // BReadDirect implements bentoks.Disk: a pread(2) of the disk file
 // straight into the caller's buffer, skipping the user-level cache. A
 // resident cached copy is served instead of re-reading — at user level

@@ -1,13 +1,58 @@
 package harness
 
 import (
+	"os"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"bento/internal/filebench"
 )
+
+// StartProfiles begins host-side pprof capture for a benchmark run. If
+// cpuPath is non-empty, CPU profiling starts immediately and is written
+// there. The returned stop function finishes the CPU profile and, if
+// memPath is non-empty, writes the runtime "allocs" profile (allocation
+// sites since process start — the view the zero-allocation work is
+// tuned against) after a GC cycle settles live-heap accounting.
+// Profiling observes the host only; virtual-time results are unaffected.
+func StartProfiles(cpuPath, memPath string) (func() error, error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	stop := func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return stop, nil
+}
 
 // CellSpec is one benchmark cell of an experiment's declarative plan: a
 // self-contained unit of work that builds its own kernel, device, and

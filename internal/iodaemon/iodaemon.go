@@ -115,6 +115,15 @@ type Daemon[T Task] struct {
 	flMu    sync.Mutex // serializes flusher passes
 	stopped atomic.Bool
 
+	// fillTask is the one reusable fill task (guarded by raMu). Fills are
+	// serialized under raMu, so a single task whose clock is rebased
+	// (Clock.SetNS) to each fill's submission time behaves exactly like
+	// forking a fresh task there: device bookings key on (time, service),
+	// never task identity, and the kernel registers nothing per task. The
+	// fork callback runs once, lazily, instead of once per page fill.
+	fillTask    T
+	hasFillTask bool
+
 	fillPages  atomic.Int64
 	fillSkips  atomic.Int64
 	fillErrors atomic.Int64
@@ -126,9 +135,12 @@ type Daemon[T Task] struct {
 
 // New creates a daemon from its two worker tasks and a task fork
 // function. fork(at) must return a fresh task whose clock starts at
-// virtual time at; each page fill of a read-ahead batch runs on its own
-// forked task so the batch's device commands are issued concurrently
-// (asynchronous submission) rather than serially on one clock.
+// virtual time at; each page fill of a read-ahead batch runs on a fill
+// task rebased to the batch's submission time, so the batch's device
+// commands are issued concurrently (asynchronous submission) rather than
+// serially on one clock. fork is called once, lazily, for the daemon's
+// reusable fill task; it must not register per-call state keyed on task
+// identity.
 func New[T Task](cfg Config, raWorker, flusher T, fork func(at int64) T) *Daemon[T] {
 	return &Daemon[T]{cfg: cfg.withDefaults(), ra: raWorker, fl: flusher, fork: fork}
 }
@@ -160,10 +172,10 @@ func (d *Daemon[T]) BackgroundThreshold(dirtyLimit int64) int64 {
 
 // FillAhead runs one read-ahead batch: count page fills starting at
 // page start, submitted at virtual time now (the reader's clock when it
-// triggered read-ahead). Each fill runs on a task forked at now, so the
-// batch's device reads are booked concurrently from now on — the
-// application keeps running while the device works, which is the entire
-// point of read-ahead.
+// triggered read-ahead). Each fill runs on the daemon's fill task rebased
+// to now, so the batch's device reads are booked concurrently from now
+// on — the application keeps running while the device works, which is
+// the entire point of read-ahead.
 //
 // fill(t, pg) performs one page read using t and reports whether it
 // actually filled (false = the page was already cached). The fill's
@@ -188,8 +200,13 @@ func (d *Daemon[T]) FillAhead(now int64, start, count int64, fill func(t T, pg i
 		return nil
 	}
 	frontier := d.ra.Clock()
+	if !d.hasFillTask {
+		d.fillTask = d.fork(now)
+		d.hasFillTask = true
+	}
 	for pg := start; pg < start+count; pg++ {
-		t := d.fork(now)
+		t := d.fillTask
+		t.Clock().SetNS(now)
 		t.Charge(t.Model().AsyncFillPage)
 		filled, err := fill(t, pg)
 		if err != nil {

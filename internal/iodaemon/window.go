@@ -94,15 +94,24 @@ func Runs(keys []int64) []Run {
 	if len(keys) == 0 {
 		return nil
 	}
-	runs := make([]Run, 0, 4)
+	return AppendRuns(make([]Run, 0, 4), keys)
+}
+
+// AppendRuns appends the maximal contiguous runs of the ascending index
+// list to dst and returns the extended slice — Runs for callers that
+// recycle a scratch buffer across write-back passes.
+func AppendRuns(dst []Run, keys []int64) []Run {
+	if len(keys) == 0 {
+		return dst
+	}
 	cur := Run{Start: keys[0], Count: 1}
 	for _, k := range keys[1:] {
 		if k == cur.Start+int64(cur.Count) {
 			cur.Count++
 			continue
 		}
-		runs = append(runs, cur)
+		dst = append(dst, cur)
 		cur = Run{Start: k, Count: 1}
 	}
-	return append(runs, cur)
+	return append(dst, cur)
 }

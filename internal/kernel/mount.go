@@ -1,9 +1,9 @@
 package kernel
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
-	"strings"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -79,6 +79,10 @@ type Mount struct {
 	// traffic. The FUSE baseline never enables it — that asymmetry is
 	// the paper's point.
 	iod *iodaemon.Daemon[*Task]
+
+	// flushFn is m.bdiFlush bound once at mount creation; taking the
+	// method value inline would allocate on every balanceDirty call.
+	flushFn func(*Task) (int, int, error)
 }
 
 type dkey struct {
@@ -107,6 +111,17 @@ type vnode struct {
 	// leaf: readAhead drops it before touching vn.mu.
 	raMu sync.Mutex
 	ra   iodaemon.Window
+
+	// fillFn is the read-ahead fill callback, built once on first use so
+	// FillAhead batches never allocate a fresh closure. Set under vn.mu.
+	fillFn func(*Task, int64) (bool, error)
+
+	// Write-back scratch, reused across writebackLocked calls (guarded by
+	// vn.mu, like the dirty set they snapshot). truncateLocked borrows
+	// wbKeys too — it holds the same lock and the uses never overlap.
+	wbKeys  []int64
+	wbRuns  []iodaemon.Run
+	wbBatch [][]byte
 }
 
 // page is one cached 4K page. Readers bump lastUse under the shared
@@ -162,6 +177,7 @@ func newMount(k *Kernel, fstype, mountPoint string, fs FileSystem, dev *blockdev
 	for i := range m.dcache {
 		m.dcache[i].m = make(map[dkey]fsapi.Ino)
 	}
+	m.flushFn = m.bdiFlush
 	return m
 }
 
@@ -262,9 +278,9 @@ func (m *Mount) DropCaches() {
 		s.m = make(map[dkey]fsapi.Ino)
 		s.mu.Unlock()
 	}
-	for _, vn := range m.vnodesByIno() {
+	_ = m.forEachVnodeByIno(func(vn *vnode) error {
 		vn.mu.Lock()
-		dropped := vn.pc.DropClean()
+		dropped := vn.pc.DropCleanFunc(putPage)
 		vn.mu.Unlock()
 		// The ahead marker points at pages that just vanished; collapse
 		// the window so the next stream re-ramps over real misses.
@@ -272,7 +288,8 @@ func (m *Mount) DropCaches() {
 		vn.ra.Reset()
 		vn.raMu.Unlock()
 		m.totalPages.Add(-int64(dropped))
-	}
+		return nil
+	})
 	if d, ok := m.fs.(BlockCacheDropper); ok {
 		d.DropCleanBlocks()
 	}
@@ -335,12 +352,13 @@ func (m *Mount) vnodeFromStat(st fsapi.Stat) *vnode {
 	return vn
 }
 
-// dropVnode removes an unlinked, closed vnode and its pages.
+// dropVnode removes an unlinked, closed vnode and its pages, recycling
+// the pages (nothing can reference them: the file has no opens left).
 func (m *Mount) dropVnode(vn *vnode) {
 	vn.mu.Lock()
 	nDirty := int64(vn.pc.DirtyLen())
 	nPages := int64(vn.pc.Len())
-	vn.pc.Clear()
+	vn.pc.ClearFunc(putPage)
 	vn.mu.Unlock()
 	m.dirtyPages.Add(-nDirty)
 	m.totalPages.Add(-nPages)
@@ -377,32 +395,49 @@ func (m *Mount) dcacheDrop(dir fsapi.Ino, name string) {
 
 // --- path resolution ---
 
-// splitPath normalizes a path into components, treating the mount root as
-// "/". "." components are elided; ".." is resolved by the file system
-// (xv6 and ext4 both store real "." and ".." entries).
-func splitPath(path string) []string {
-	parts := strings.Split(path, "/")
-	out := parts[:0]
-	for _, p := range parts {
-		if p == "" || p == "." {
-			continue
-		}
-		out = append(out, p)
-	}
-	return out
+// pathIter walks a path's components without allocating: each component
+// is a substring of the original path, so the stat/lookup hot paths
+// never materialize a []string. The mount root is "/"; "" and "."
+// components are elided; ".." is resolved by the file system (xv6 and
+// ext4 both store real "." and ".." entries) — exactly the old
+// splitPath normalization.
+type pathIter struct {
+	path string
+	pos  int
 }
 
-// Resolve walks path to an inode, charging dcache/lookup costs.
+// next returns the following component, or ok=false at the end.
+func (it *pathIter) next() (string, bool) {
+	for it.pos < len(it.path) {
+		start := it.pos
+		for it.pos < len(it.path) && it.path[it.pos] != '/' {
+			it.pos++
+		}
+		name := it.path[start:it.pos]
+		it.pos++ // step over the separator (or past the end)
+		if name != "" && name != "." {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// Resolve walks path to an inode, charging dcache/lookup costs. The
+// iterator runs one component ahead so "is this the last component?" is
+// known without splitting the whole path up front.
 func (m *Mount) Resolve(t *Task, path string) (fsapi.Stat, error) {
-	parts := splitPath(path)
+	it := pathIter{path: path}
 	cur := m.fs.Root()
-	for i, name := range parts {
-		last := i == len(parts)-1
-		if ino, ok := m.dcacheGet(t, cur, name); ok {
+	name, ok := it.next()
+	for ok {
+		peek, more := it.next()
+		last := !more
+		if ino, hit := m.dcacheGet(t, cur, name); hit {
 			if last {
 				return m.fs.GetAttr(t, ino)
 			}
 			cur = ino
+			name, ok = peek, more
 			continue
 		}
 		st, err := m.fs.Lookup(t, cur, name)
@@ -417,34 +452,40 @@ func (m *Mount) Resolve(t *Task, path string) (fsapi.Stat, error) {
 			return fsapi.Stat{}, fsapi.ErrNotDir
 		}
 		cur = st.Ino
+		name, ok = peek, more
 	}
 	return m.fs.GetAttr(t, cur)
 }
 
 // ResolveParent walks to the parent directory of path and returns its
-// inode along with the final component.
+// inode along with the final component (a substring of path).
 func (m *Mount) ResolveParent(t *Task, path string) (fsapi.Ino, string, error) {
-	parts := splitPath(path)
-	if len(parts) == 0 {
+	it := pathIter{path: path}
+	name, ok := it.next()
+	if !ok {
 		return 0, "", fmt.Errorf("kernel: %q has no final component: %w", path, fsapi.ErrInvalid)
 	}
 	cur := m.fs.Root()
-	for _, name := range parts[:len(parts)-1] {
-		if ino, ok := m.dcacheGet(t, cur, name); ok {
+	for {
+		peek, more := it.next()
+		if !more {
+			return cur, name, nil
+		}
+		if ino, hit := m.dcacheGet(t, cur, name); hit {
 			cur = ino
-			continue
+		} else {
+			st, err := m.fs.Lookup(t, cur, name)
+			if err != nil {
+				return 0, "", err
+			}
+			if st.Type != fsapi.TypeDir {
+				return 0, "", fsapi.ErrNotDir
+			}
+			m.dcachePut(cur, name, st.Ino)
+			cur = st.Ino
 		}
-		st, err := m.fs.Lookup(t, cur, name)
-		if err != nil {
-			return 0, "", err
-		}
-		if st.Type != fsapi.TypeDir {
-			return 0, "", fsapi.ErrNotDir
-		}
-		m.dcachePut(cur, name, st.Ino)
-		cur = st.Ino
+		name = peek
 	}
-	return cur, parts[len(parts)-1], nil
 }
 
 // --- page cache ---
@@ -461,10 +502,11 @@ func (vn *vnode) loadPage(t *Task, idx int64) (*page, error) {
 		}
 		return pg, nil
 	}
-	pg := &page{data: make([]byte, fsapi.PageSize)}
+	pg := getPage() // zeroed: beyond-EOF pages must read as zeros
 	pg.lastUse.Store(vn.m.seq.Add(1))
 	if idx*fsapi.PageSize < vn.size {
 		if err := vn.m.fs.ReadPage(t, vn.ino, idx, pg.data); err != nil {
+			putPage(pg) // never published; safe to recycle
 			return nil, err
 		}
 	}
@@ -485,10 +527,12 @@ func (vn *vnode) loadPage(t *Task, idx int64) (*page, error) {
 // the front instead of evicted. Caller holds vn.mu.
 func (vn *vnode) evictCleanLocked() {
 	for evicted := 0; evicted < 16; evicted++ {
-		if _, ok := vn.pc.EvictScan(pageRecency); !ok {
+		victim, ok := vn.pc.EvictScan(pageRecency)
+		if !ok {
 			return
 		}
 		vn.m.totalPages.Add(-1)
+		putPage(victim)
 	}
 }
 
@@ -520,7 +564,12 @@ func (vn *vnode) writebackLocked(t *Task) (calls, pages int, err error) {
 	if vn.pc.DirtyLen() == 0 {
 		return 0, 0, nil
 	}
-	runs := iodaemon.Runs(vn.pc.DirtyKeys()) // ascending, coalesced
+	// Snapshot into the vnode's scratch (ascending, coalesced): the
+	// flusher fires on every dirty-budget crossing, so rebuilding these
+	// slices per pass would dominate the write path's allocations.
+	vn.wbKeys = vn.pc.AppendDirtyKeys(vn.wbKeys[:0])
+	vn.wbRuns = iodaemon.AppendRuns(vn.wbRuns[:0], vn.wbKeys)
+	runs := vn.wbRuns
 
 	bw, batched := vn.m.fs.(BatchWriter)
 	model := vn.m.model
@@ -531,12 +580,16 @@ func (vn *vnode) writebackLocked(t *Task) (calls, pages int, err error) {
 	}
 	for _, run := range runs {
 		if batched {
-			batch := make([][]byte, 0, run.Count)
+			batch := vn.wbBatch[:0]
 			for i := 0; i < run.Count; i++ {
 				batch = append(batch, pageData(run.Start+int64(i)))
 			}
+			vn.wbBatch = batch
 			t.Charge(model.WritepagesCall)
-			if err := bw.WritePages(t, vn.ino, run.Start, batch, vn.size); err != nil {
+			err := bw.WritePages(t, vn.ino, run.Start, batch, vn.size)
+			clear(vn.wbBatch) // drop page refs so eviction can recycle
+			vn.wbBatch = vn.wbBatch[:0]
+			if err != nil {
 				return calls, pages, err
 			}
 			calls++
@@ -560,19 +613,25 @@ func (vn *vnode) writebackLocked(t *Task) (calls, pages int, err error) {
 
 // writebackAll flushes every vnode's dirty pages (sync path).
 func (m *Mount) writebackAll(t *Task) error {
-	for _, vn := range m.vnodesByIno() {
-		if err := vn.writeback(t); err != nil {
-			return err
-		}
-	}
-	return nil
+	return m.forEachVnodeByIno(func(vn *vnode) error {
+		return vn.writeback(t)
+	})
 }
 
-// vnodesByIno snapshots the vnode table in ascending inode order, so
-// cross-vnode passes (sync, the background flusher) visit files
-// deterministically.
-func (m *Mount) vnodesByIno() []*vnode {
-	var vns []*vnode
+// vnodeScratch pools the snapshot slices forEachVnodeByIno sorts into;
+// the flusher takes one per pass, so allocating fresh would show up on
+// every dirty-budget crossing.
+var vnodeScratch sync.Pool
+
+// forEachVnodeByIno visits the vnode table in ascending inode order, so
+// cross-vnode passes (sync, drop_caches, the background flusher) visit
+// files deterministically. A non-nil error from fn stops the walk.
+func (m *Mount) forEachVnodeByIno(fn func(*vnode) error) error {
+	v, _ := vnodeScratch.Get().(*[]*vnode)
+	if v == nil {
+		v = new([]*vnode)
+	}
+	vns := (*v)[:0]
 	for i := range m.vnodes {
 		s := &m.vnodes[i]
 		s.mu.Lock()
@@ -581,8 +640,17 @@ func (m *Mount) vnodesByIno() []*vnode {
 		}
 		s.mu.Unlock()
 	}
-	sort.Slice(vns, func(i, j int) bool { return vns[i].ino < vns[j].ino })
-	return vns
+	slices.SortFunc(vns, func(a, b *vnode) int { return cmp.Compare(a.ino, b.ino) })
+	var err error
+	for _, vn := range vns {
+		if err = fn(vn); err != nil {
+			break
+		}
+	}
+	clear(vns) // drop vnode refs before pooling
+	*v = vns[:0]
+	vnodeScratch.Put(v)
+	return err
 }
 
 // bdiFlush is one background flusher pass (the per-BDI flusher-thread
@@ -591,17 +659,15 @@ func (m *Mount) vnodesByIno() []*vnode {
 // It runs on the flusher's task, never an application's. Called with no
 // locks held.
 func (m *Mount) bdiFlush(ft *Task) (calls, pages int, err error) {
-	for _, vn := range m.vnodesByIno() {
+	err = m.forEachVnodeByIno(func(vn *vnode) error {
 		vn.mu.Lock()
 		c, p, ferr := vn.writebackLocked(ft)
 		vn.mu.Unlock()
 		calls += c
 		pages += p
-		if ferr != nil {
-			return calls, pages, ferr
-		}
-	}
-	return calls, pages, nil
+		return ferr
+	})
+	return calls, pages, err
 }
 
 // balanceDirty is the write path's dirty-budget policy when the
@@ -622,7 +688,7 @@ func (m *Mount) balanceDirty(t *Task) error {
 	t.Charge(m.model.FlusherWakeup)
 	over := dirty > m.dirtyLimit
 	prev := d.FlusherNow()
-	done, err := d.Flush(t.Clk.NowNS(), m.bdiFlush)
+	done, err := d.Flush(t.Clk.NowNS(), m.flushFn)
 	if err != nil {
 		return err
 	}
@@ -696,9 +762,12 @@ func (vn *vnode) readAhead(t *Task, first, last int64) {
 	if lastPg := (vn.size - 1) / fsapi.PageSize; start+count-1 > lastPg {
 		count = lastPg - start + 1
 	}
-	err := d.FillAhead(t.Clk.NowNS(), start, count, func(rt *Task, pg int64) (bool, error) {
-		return vn.fillPageLocked(rt, pg)
-	})
+	if vn.fillFn == nil {
+		vn.fillFn = func(rt *Task, pg int64) (bool, error) {
+			return vn.fillPageLocked(rt, pg)
+		}
+	}
+	err := d.FillAhead(t.Clk.NowNS(), start, count, vn.fillFn)
 	vn.mu.Unlock()
 	if err != nil {
 		// A failed fill must not fail the demand read that merely
@@ -720,7 +789,7 @@ func (vn *vnode) fillPageLocked(rt *Task, pg int64) (bool, error) {
 	if _, ok := vn.pc.Peek(pg); ok {
 		return false, nil
 	}
-	p := &page{data: make([]byte, fsapi.PageSize)}
+	p := getPage()
 	p.lastUse.Store(vn.m.seq.Add(1))
 	p.fill.BeginFill()
 	vn.pc.Add(pg, p)
@@ -746,7 +815,7 @@ func (m *Mount) shutdown(t *Task) error {
 	if m.iod != nil {
 		// Stop the daemon after a final flusher pass; the unmounting
 		// task waits for the flusher to retire.
-		done, err := m.iod.Quiesce(m.bdiFlush)
+		done, err := m.iod.Quiesce(m.flushFn)
 		if err != nil {
 			return err
 		}

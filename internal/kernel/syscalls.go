@@ -332,7 +332,7 @@ func (vn *vnode) pageForOverwrite(idx int64) *page {
 		pg.readyAt = 0
 		return pg
 	}
-	pg := &page{data: make([]byte, fsapi.PageSize)}
+	pg := getPage() // zeroed, so a partial final chunk keeps zero tail
 	pg.lastUse.Store(vn.m.seq.Add(1))
 	vn.pc.Add(idx, pg)
 	if vn.m.totalPages.Add(1) > vn.m.pageCap {
@@ -405,19 +405,22 @@ func (vn *vnode) truncateLocked(t *Task, size int64) error {
 		return fsapi.ErrInvalid
 	}
 	firstDead := (size + fsapi.PageSize - 1) / fsapi.PageSize
-	var doomed []int64
+	// Borrow the write-back key scratch (same lock, uses never overlap).
+	doomed := vn.wbKeys[:0]
 	vn.pc.ForEach(func(idx int64, _ *page) bool {
 		if idx >= firstDead {
 			doomed = append(doomed, idx)
 		}
 		return true
 	})
+	vn.wbKeys = doomed
 	for _, idx := range doomed {
-		_, wasDirty, _ := vn.pc.Remove(idx)
+		pg, wasDirty, _ := vn.pc.Remove(idx)
 		vn.m.totalPages.Add(-1)
 		if wasDirty {
 			vn.m.dirtyPages.Add(-1)
 		}
+		putPage(pg)
 	}
 	// Zero the cached tail of a now-partial page so stale bytes cannot
 	// reappear if the file is re-extended.

@@ -110,12 +110,20 @@ func (c *Core[E]) ClearAllDirty() int {
 // iterate exactly this set — never the whole cache — and the sorted
 // order keeps write-back deterministic.
 func (c *Core[E]) DirtyKeys() []int64 {
-	keys := make([]int64, 0, len(c.dirty))
+	return c.AppendDirtyKeys(make([]int64, 0, len(c.dirty)))
+}
+
+// AppendDirtyKeys appends the dirty keys to dst in ascending order and
+// returns the extended slice — DirtyKeys for callers that recycle a
+// scratch buffer across write-back passes. The appended region (not all
+// of dst) is sorted.
+func (c *Core[E]) AppendDirtyKeys(dst []int64) []int64 {
+	start := len(dst)
 	for key := range c.dirty {
-		keys = append(keys, key)
+		dst = append(dst, key)
 	}
-	slices.Sort(keys)
-	return keys
+	slices.Sort(dst[start:])
+	return dst
 }
 
 // DirtyEntries returns the dirty entries in ascending key order.
@@ -176,15 +184,25 @@ func (c *Core[E]) EvictScan(recency func(E) int64) (E, bool) {
 
 // DropClean removes every clean, unpinned entry (drop_caches) and
 // reports how many were dropped.
-func (c *Core[E]) DropClean() int {
+func (c *Core[E]) DropClean() int { return c.DropCleanFunc(nil) }
+
+// DropCleanFunc is DropClean with a per-entry callback: onDrop (when
+// non-nil) receives each dropped entry so the caller can recycle it
+// through a free pool. The entry is already out of the cache when onDrop
+// runs.
+func (c *Core[E]) DropCleanFunc(onDrop func(E)) int {
 	dropped := 0
 	n := c.rec.Back()
 	for n != nil {
 		older := c.rec.olderToNewer(n)
 		if n.refs.Load() == 0 && !n.dirty.Load() {
+			e := c.entries[n.key]
 			c.rec.Remove(n)
 			delete(c.entries, n.key)
 			dropped++
+			if onDrop != nil {
+				onDrop(e)
+			}
 		}
 		n = older
 	}
@@ -202,11 +220,19 @@ func (c *Core[E]) ForEach(fn func(key int64, e E) bool) {
 }
 
 // Clear drops every entry and all dirty state.
-func (c *Core[E]) Clear() {
+func (c *Core[E]) Clear() { c.ClearFunc(nil) }
+
+// ClearFunc is Clear with a per-entry callback: onDrop (when non-nil)
+// receives each dropped entry — dirty ones included — so the caller can
+// recycle them through a free pool.
+func (c *Core[E]) ClearFunc(onDrop func(E)) {
 	for _, e := range c.entries {
 		n := e.LRUNode()
 		c.rec.Remove(n)
 		n.dirty.Store(false)
+		if onDrop != nil {
+			onDrop(e)
+		}
 	}
 	clear(c.entries)
 	clear(c.dirty)

@@ -53,6 +53,15 @@ func (f *FillState) FailFill(err error) {
 	f.mu.Unlock()
 }
 
+// Reset returns the state to "never filled" so the owning entry can be
+// recycled through a free pool. The entry must be out of every cache and
+// its fill resolved (mutex unlocked) — resetting a published entry would
+// let a getter observe a phantom unfilled state.
+func (f *FillState) Reset() {
+	f.filled.Store(false)
+	f.err = nil
+}
+
 // AwaitFill returns once the entry's contents are resolved: nil after a
 // completed fill (the common case is a single atomic load), or the fill
 // error after a failed one.

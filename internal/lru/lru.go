@@ -71,6 +71,21 @@ func (n *Node) Unpin() { n.refs.Add(-1) }
 // Dirty reports whether the entry has unwritten modifications.
 func (n *Node) Dirty() bool { return n.dirty.Load() }
 
+// ResetForReuse clears the node's policy state (key, recency stamp,
+// dirty flag) so the owning entry can return to a free pool and be
+// recycled under a new key. The node must be unlinked from its list
+// (i.e. the entry was removed or evicted from its cache) and unpinned;
+// recycling a resident entry would corrupt the cache. A stale recency
+// stamp in particular must not survive reuse: second-chance eviction
+// compares it against the fresh entry's recency, and a leftover value
+// would change victim selection.
+func (n *Node) ResetForReuse() {
+	n.key = 0
+	n.stamp = 0
+	n.refs.Store(0)
+	n.dirty.Store(false)
+}
+
 // Entry is implemented by cache entries: it exposes the embedded Node.
 type Entry interface {
 	LRUNode() *Node

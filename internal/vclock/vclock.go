@@ -63,6 +63,14 @@ func (c *Clock) AdvanceNS(ns int64) {
 	}
 }
 
+// SetNS hard-positions the clock at the absolute virtual time ns, moving
+// backwards if needed. It exists for task recycling: a worker task reused
+// across serialized batches (the read-ahead fill task) is rebased to each
+// batch's submission time, exactly as if a fresh task had been forked
+// there. General code must use AdvanceTo — virtual time within one task's
+// execution never runs backwards.
+func (c *Clock) SetNS(ns int64) { c.ns.Store(ns) }
+
 // AdvanceTo moves the clock forward to the absolute virtual time ns. It is
 // a no-op if the clock is already at or past ns; virtual time never runs
 // backwards.

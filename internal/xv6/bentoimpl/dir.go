@@ -13,7 +13,9 @@ func (fs *FS) dirlookup(t *kernel.Task, dp *Inode, name string) (inum uint32, of
 		return 0, 0, fsapi.ErrNotDir
 	}
 	size := int64(dp.din.Size)
-	buf := make([]byte, layout.BlockSize)
+	// dp's block scratch is free here: directory contents never take the
+	// direct path, so readi on a directory cannot touch it.
+	buf := dp.bounceBuf()
 	for base := int64(0); base < size; base += layout.BlockSize {
 		n := size - base
 		if n > layout.BlockSize {
@@ -43,7 +45,7 @@ func (fs *FS) dirlink(t *kernel.Task, dp *Inode, name string, inum uint32) error
 	}
 	// Find a free slot.
 	size := int64(dp.din.Size)
-	buf := make([]byte, layout.DirentSize)
+	buf := dp.dent[:]
 	off := size
 	for o := int64(0); o < size; o += layout.DirentSize {
 		if _, err := dp.readi(t, o, buf); err != nil {
@@ -67,11 +69,14 @@ func (fs *FS) dirlink(t *kernel.Task, dp *Inode, name string, inum uint32) error
 	return nil
 }
 
+// zeroDirent is the all-zero record dirunlink writes; writei only reads
+// its source, so one shared instance serves every unlink.
+var zeroDirent [layout.DirentSize]byte
+
 // dirunlink zeroes the record at off (found by dirlookup). Caller holds
 // dp's lock and a transaction.
 func (fs *FS) dirunlink(t *kernel.Task, dp *Inode, off int64) error {
-	zero := make([]byte, layout.DirentSize)
-	n, err := dp.writei(t, off, zero)
+	n, err := dp.writei(t, off, zeroDirent[:])
 	if err != nil {
 		return err
 	}
@@ -85,7 +90,7 @@ func (fs *FS) dirunlink(t *kernel.Task, dp *Inode, off int64) error {
 // dp's lock.
 func (fs *FS) isDirEmpty(t *kernel.Task, dp *Inode) (bool, error) {
 	size := int64(dp.din.Size)
-	buf := make([]byte, layout.DirentSize)
+	buf := dp.dent[:]
 	for o := int64(0); o < size; o += layout.DirentSize {
 		if _, err := dp.readi(t, o, buf); err != nil {
 			return false, err
@@ -104,7 +109,7 @@ func (fs *FS) readDirEntries(t *kernel.Task, dp *Inode) ([]fsapi.DirEntry, error
 		return nil, fsapi.ErrNotDir
 	}
 	size := int64(dp.din.Size)
-	buf := make([]byte, layout.BlockSize)
+	buf := dp.bounceBuf()
 	var out []fsapi.DirEntry
 	for base := int64(0); base < size; base += layout.BlockSize {
 		n := size - base

@@ -512,7 +512,7 @@ func (fs *FS) Rename(t *kernel.Task, oldParent fsapi.Ino, oldName string, newPar
 			src.iunlock()
 			return err
 		}
-		buf := make([]byte, layout.DirentSize)
+		buf := src.dent[:]
 		if err := layout.EncodeDirent(layout.Dirent{Ino: ndp.inum, Name: ".."}, buf); err != nil {
 			src.iunlock()
 			return err

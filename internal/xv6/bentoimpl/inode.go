@@ -20,16 +20,44 @@ type Inode struct {
 	// ref counts in-core references (iget/iput), guarded by the itable.
 	ref int
 
+	// freeNext chains recycled Inodes (guarded by the itable): the
+	// lookup/stat hot paths iget and iput an inode per call, so minting a
+	// fresh struct each time would dominate their allocations.
+	freeNext *Inode
+
 	// lock guards everything below (xv6's sleep-lock).
 	lock  sync.Mutex
 	valid bool
 	din   layout.Dinode
+
+	// dbuf is heap-resident scratch for ilock's on-disk inode read: a
+	// stack array passed through the bentoks.Disk interface would escape
+	// and allocate per call. Used only under lock.
+	dbuf [layout.InodeSize]byte
+	// dent is dirent-sized scratch for directory-entry encode/decode
+	// (dirlink, isDirEmpty, rename's ".." rewrite). Used only under lock.
+	dent [layout.DirentSize]byte
+	// bounce is a lazily allocated block-sized scratch: sub-block direct
+	// I/O for files, block scans for directories (the two never mix —
+	// directory contents are metadata and never take the direct path).
+	// Used only under lock; recycled with the Inode via the freelist.
+	bounce []byte
 }
 
-// itable is the in-core inode cache.
+// bounceBuf returns the inode's block-sized scratch. Caller holds the
+// inode lock; contents are unspecified.
+func (ip *Inode) bounceBuf() []byte {
+	if ip.bounce == nil {
+		ip.bounce = make([]byte, layout.BlockSize)
+	}
+	return ip.bounce
+}
+
+// itable is the in-core inode cache plus the recycle list.
 type itable struct {
 	mu      sync.Mutex
 	entries map[uint32]*Inode
+	free    *Inode
 }
 
 // iget returns a referenced in-core inode for inum without loading it.
@@ -40,7 +68,17 @@ func (fs *FS) iget(inum uint32) *Inode {
 		ip.ref++
 		return ip
 	}
-	ip := &Inode{fs: fs, inum: inum, ref: 1}
+	ip := fs.itab.free
+	if ip != nil {
+		fs.itab.free = ip.freeNext
+		ip.freeNext = nil
+		ip.inum = inum
+		ip.ref = 1
+		ip.valid = false
+		ip.din = layout.Dinode{}
+	} else {
+		ip = &Inode{fs: fs, inum: inum, ref: 1}
+	}
 	fs.itab.entries[inum] = ip
 	return ip
 }
@@ -52,18 +90,13 @@ func (ip *Inode) ilock(t *kernel.Task) error {
 		return nil
 	}
 	fs := ip.fs
-	err := fs.sb.WithBuffer(t, int(fs.super.InodeBlock(ip.inum)), func(bh bentoksBuffer) error {
-		data, err := bh.Data()
-		if err != nil {
-			return err
-		}
-		ip.din = layout.DecodeDinode(data[layout.InodeOffset(ip.inum):])
-		return nil
-	})
+	err := fs.sb.ReadBlockRange(t, int(fs.super.InodeBlock(ip.inum)),
+		layout.InodeOffset(ip.inum), ip.dbuf[:])
 	if err != nil {
 		ip.lock.Unlock()
 		return err
 	}
+	ip.din = layout.DecodeDinode(ip.dbuf[:])
 	if ip.din.Type == layout.TypeFree {
 		ip.lock.Unlock()
 		return fmt.Errorf("xv6: ilock of free inode %d: %w", ip.inum, fsapi.ErrStale)
@@ -142,7 +175,11 @@ func (ip *Inode) iput(t *kernel.Task, hasTxn bool) error {
 	fs.itab.mu.Lock()
 	ip.ref--
 	if ip.ref == 0 {
+		// Last reference gone: nothing outside the table can name this
+		// struct anymore, so recycle it for the next iget miss.
 		delete(fs.itab.entries, ip.inum)
+		ip.freeNext = fs.itab.free
+		fs.itab.free = ip
 	}
 	fs.itab.mu.Unlock()
 	return nil
@@ -181,20 +218,21 @@ func (ip *Inode) bmap(t *kernel.Task, bn uint64, alloc bool) (blk uint32, fresh 
 	// Indirect.
 	if bn < layout.NDirect+layout.NIndirect {
 		idx := int(bn - layout.NDirect)
-		return ip.mapThrough(t, &ip.din.Addrs[layout.IndirectSlot], []int{idx}, alloc, dataLeaf)
+		return ip.mapThrough(t, &ip.din.Addrs[layout.IndirectSlot], [2]int{idx, 0}, 1, alloc, dataLeaf)
 	}
 
 	// Double indirect.
 	idx := bn - layout.NDirect - layout.NIndirect
 	return ip.mapThrough(t, &ip.din.Addrs[layout.DIndirectSlot],
-		[]int{int(idx / layout.NIndirect), int(idx % layout.NIndirect)}, alloc, dataLeaf)
+		[2]int{int(idx / layout.NIndirect), int(idx % layout.NIndirect)}, 2, alloc, dataLeaf)
 }
 
-// mapThrough walks (allocating as needed) a chain of indirect blocks
-// selected by idxs, starting from the pointer slot *slot. The indirect
+// mapThrough walks (allocating as needed) a chain of depth indirect
+// blocks selected by idxs (a by-value array, so the per-block write path
+// builds no slice), starting from the pointer slot *slot. The indirect
 // blocks along the chain are metadata — always journaled and zeroed —
 // only the final level's target is the data leaf.
-func (ip *Inode) mapThrough(t *kernel.Task, slot *uint32, idxs []int, alloc, dataLeaf bool) (uint32, bool, error) {
+func (ip *Inode) mapThrough(t *kernel.Task, slot *uint32, idxs [2]int, depth int, alloc, dataLeaf bool) (uint32, bool, error) {
 	fs := ip.fs
 	cur := *slot
 	if cur == 0 {
@@ -212,8 +250,9 @@ func (ip *Inode) mapThrough(t *kernel.Task, slot *uint32, idxs []int, alloc, dat
 		cur = a
 	}
 	fresh := false
-	for lvl, idx := range idxs {
-		leaf := lvl == len(idxs)-1
+	for lvl := 0; lvl < depth; lvl++ {
+		idx := idxs[lvl]
+		leaf := lvl == depth-1
 		bh, err := fs.sb.BRead(t, int(cur))
 		if err != nil {
 			return 0, false, err
@@ -413,22 +452,14 @@ func (ip *Inode) readi(t *kernel.Task, off int64, buf []byte) (int, error) {
 			// Sub-block request: direct I/O is block-granular, so read
 			// the whole block into a bounce page and copy the range out.
 			if bounce == nil {
-				bounce = make([]byte, layout.BlockSize)
+				bounce = ip.bounceBuf()
 			}
 			if err := ip.fs.sb.BReadDirect(t, int(blk), bounce); err != nil {
 				return int(done), err
 			}
 			copy(buf[done:done+n], bounce[bo:bo+n])
 		default:
-			err := ip.fs.sb.WithBuffer(t, int(blk), func(bh bentoksBuffer) error {
-				data, err := bh.Data()
-				if err != nil {
-					return err
-				}
-				copy(buf[done:done+n], data[bo:bo+n])
-				return nil
-			})
-			if err != nil {
+			if err := ip.fs.sb.ReadBlockRange(t, int(blk), int(bo), buf[done:done+n]); err != nil {
 				return int(done), err
 			}
 		}
@@ -483,7 +514,7 @@ func (ip *Inode) writei(t *kernel.Task, off int64, buf []byte) (int, error) {
 				// the device holds whatever the block's previous life
 				// left there, never file content.
 				if bounce == nil {
-					bounce = make([]byte, layout.BlockSize)
+					bounce = ip.bounceBuf()
 				}
 				if fresh || int64(bn)*layout.BlockSize >= int64(ip.din.Size) {
 					clear(bounce)

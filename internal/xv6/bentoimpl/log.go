@@ -148,7 +148,9 @@ func (l *Log) Recover(t *kernel.Task) error {
 	return nil
 }
 
-// Op is an open transaction handle returned by BeginOp.
+// Op is an open transaction handle returned by BeginOp. It is a value:
+// every metadata operation begins and ends one, and a heap handle per
+// transaction would charge the create/unlink paths an allocation each.
 type Op struct {
 	n uint32
 }
@@ -157,7 +159,7 @@ type Op struct {
 // nblocks blocks, blocking while the log is committing or full. The
 // paper's group commit emerges here: concurrent operations share one
 // commit.
-func (l *Log) BeginOp(t *kernel.Task, nblocks int) *Op {
+func (l *Log) BeginOp(t *kernel.Task, nblocks int) Op {
 	if nblocks <= 0 {
 		nblocks = 1
 	}
@@ -174,7 +176,7 @@ func (l *Log) BeginOp(t *kernel.Task, nblocks int) *Op {
 	// commit's completion in virtual time.
 	t.Clk.AdvanceTo(l.commitEnd)
 	l.mu.Unlock()
-	return &Op{n: uint32(nblocks)}
+	return Op{n: uint32(nblocks)}
 }
 
 // Write records bh's block in the current transaction (log_write). The
@@ -202,7 +204,7 @@ func (l *Log) Write(t *kernel.Task, bh bentoks.Buffer) error {
 }
 
 // EndOp closes the operation; the last operation out commits the group.
-func (l *Log) EndOp(t *kernel.Task, op *Op) error {
+func (l *Log) EndOp(t *kernel.Task, op Op) error {
 	l.mu.Lock()
 	l.outstanding--
 	l.reserved -= op.n
@@ -223,8 +225,10 @@ func (l *Log) EndOp(t *kernel.Task, op *Op) error {
 	}
 
 	l.mu.Lock()
-	l.blocks = nil
-	l.inLog = make(map[uint32]int)
+	// Reset in place: the slice capacity and map buckets are reused by
+	// the next transaction instead of reallocated per commit.
+	l.blocks = l.blocks[:0]
+	clear(l.inLog)
 	l.committing = false
 	l.commits++
 	if now := t.Clk.NowNS(); now > l.commitEnd {

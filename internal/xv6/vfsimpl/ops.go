@@ -9,6 +9,10 @@ import (
 // Reservation sizes, mirroring the Bento version.
 const metaOpBlocks = 12
 
+// zeroDirent is the all-zero record directory unlinks write; writei only
+// reads its source, so one shared instance serves every unlink.
+var zeroDirent [layout.DirentSize]byte
+
 func (fs *FS) statOf(ip *inode) fsapi.Stat {
 	st := fsapi.Stat{Ino: fsapi.Ino(ip.inum), Size: int64(ip.din.Size), Nlink: uint32(ip.din.Nlink)}
 	switch ip.din.Type {
@@ -26,7 +30,9 @@ func (fs *FS) dirlookup(t *kernel.Task, dp *inode, name string) (uint32, int64, 
 		return 0, 0, fsapi.ErrNotDir
 	}
 	size := int64(dp.din.Size)
-	buf := make([]byte, layout.BlockSize)
+	// dp's block scratch is free here: directory contents never take the
+	// direct path, so readi on a directory cannot touch it.
+	buf := dp.bounceBuf()
 	for base := int64(0); base < size; base += layout.BlockSize {
 		n := min64(layout.BlockSize, size-base)
 		if _, err := fs.readi(t, dp, base, buf[:n]); err != nil {
@@ -51,7 +57,7 @@ func (fs *FS) dirlink(t *kernel.Task, dp *inode, name string, inum uint32) error
 		return fsapi.ErrExist
 	}
 	size := int64(dp.din.Size)
-	rec := make([]byte, layout.DirentSize)
+	rec := dp.dent[:]
 	off := size
 	for o := int64(0); o < size; o += layout.DirentSize {
 		if _, err := fs.readi(t, dp, o, rec); err != nil {
@@ -326,8 +332,7 @@ func (fs *FS) removeNode(t *kernel.Task, dir fsapi.Ino, name string, wantDir boo
 			return fsapi.ErrNotEmpty
 		}
 	}
-	zero := make([]byte, layout.DirentSize)
-	if _, err := fs.writei(t, dp, off, zero); err != nil {
+	if _, err := fs.writei(t, dp, off, zeroDirent[:]); err != nil {
 		return err
 	}
 	if isDir {
@@ -344,7 +349,7 @@ func (fs *FS) removeNode(t *kernel.Task, dir fsapi.Ino, name string, wantDir boo
 
 func (fs *FS) isDirEmpty(t *kernel.Task, dp *inode) (bool, error) {
 	size := int64(dp.din.Size)
-	rec := make([]byte, layout.DirentSize)
+	rec := dp.dent[:]
 	for o := int64(0); o < size; o += layout.DirentSize {
 		if _, err := fs.readi(t, dp, o, rec); err != nil {
 			return false, err
@@ -445,8 +450,7 @@ func (fs *FS) Rename(t *kernel.Task, odir fsapi.Ino, oname string, ndir fsapi.In
 			return err
 		}
 		tgt.mu.Unlock()
-		zero := make([]byte, layout.DirentSize)
-		if _, err := fs.writei(t, ndp, tgtOff, zero); err != nil {
+		if _, err := fs.writei(t, ndp, tgtOff, zeroDirent[:]); err != nil {
 			return err
 		}
 	}
@@ -454,8 +458,7 @@ func (fs *FS) Rename(t *kernel.Task, odir fsapi.Ino, oname string, ndir fsapi.In
 	if err := fs.dirlink(t, ndp, nname, srcInum); err != nil {
 		return err
 	}
-	zero := make([]byte, layout.DirentSize)
-	if _, err := fs.writei(t, odp, srcOff, zero); err != nil {
+	if _, err := fs.writei(t, odp, srcOff, zeroDirent[:]); err != nil {
 		return err
 	}
 	if srcIsDir && odir != ndir {
@@ -467,7 +470,7 @@ func (fs *FS) Rename(t *kernel.Task, odir fsapi.Ino, oname string, ndir fsapi.In
 			src.mu.Unlock()
 			return err
 		}
-		rec := make([]byte, layout.DirentSize)
+		rec := src.dent[:]
 		if err := layout.EncodeDirent(layout.Dirent{Ino: ndp.inum, Name: ".."}, rec); err != nil {
 			src.mu.Unlock()
 			return err
@@ -538,7 +541,7 @@ func (fs *FS) ReadDir(t *kernel.Task, dir fsapi.Ino) ([]fsapi.DirEntry, error) {
 		return nil, fsapi.ErrNotDir
 	}
 	size := int64(dp.din.Size)
-	buf := make([]byte, layout.BlockSize)
+	buf := dp.bounceBuf()
 	var out []fsapi.DirEntry
 	for base := int64(0); base < size; base += layout.BlockSize {
 		n := min64(layout.BlockSize, size-base)

@@ -81,11 +81,32 @@ func (tt Type) Mount(t *kernel.Task, dev *blockdev.Device) (kernel.FileSystem, e
 
 // inode is the in-core inode.
 type inode struct {
-	inum  uint32
-	ref   int
+	inum uint32
+	ref  int
+	// freeNext chains recycled inodes (guarded by itabMu): lookup/stat
+	// iget and iput one per call, so a fresh struct per miss would
+	// dominate their allocations.
+	freeNext *inode
+
 	mu    sync.Mutex
 	valid bool
 	din   layout.Dinode
+
+	// Scratch used only under mu: dent for dirent encode/decode, bounce
+	// (lazily sized to a block) for sub-block direct I/O on files and
+	// block scans on directories — the two never mix, since directory
+	// contents never take the direct path. Recycled with the inode.
+	dent   [layout.DirentSize]byte
+	bounce []byte
+}
+
+// bounceBuf returns the inode's block-sized scratch. Caller holds ip.mu;
+// contents are unspecified.
+func (ip *inode) bounceBuf() []byte {
+	if ip.bounce == nil {
+		ip.bounce = make([]byte, layout.BlockSize)
+	}
+	return ip.bounce
 }
 
 // FS is one mounted instance of the baseline.
@@ -112,9 +133,10 @@ type FS struct {
 	imu        sync.Mutex
 	inodeRotor uint32
 
-	// in-core inode table.
+	// in-core inode table, plus the recycle list of dropped entries.
 	itabMu sync.Mutex
 	inodes map[uint32]*inode
+	ifree  *inode
 }
 
 var (
@@ -245,8 +267,10 @@ func (fs *FS) endOp(t *kernel.Task, nblocks uint32) error {
 	}
 
 	fs.logMu.Lock()
-	fs.logBlocks = nil
-	fs.inLog = make(map[uint32]bool)
+	// Reset in place: slice capacity and map buckets carry to the next
+	// transaction instead of being reallocated per commit.
+	fs.logBlocks = fs.logBlocks[:0]
+	clear(fs.inLog)
 	fs.committing = false
 	fs.commits++
 	if now := t.Clk.NowNS(); now > fs.commitEnd {
@@ -472,7 +496,17 @@ func (fs *FS) iget(inum uint32) *inode {
 		ip.ref++
 		return ip
 	}
-	ip := &inode{inum: inum, ref: 1}
+	ip := fs.ifree
+	if ip != nil {
+		fs.ifree = ip.freeNext
+		ip.freeNext = nil
+		ip.inum = inum
+		ip.ref = 1
+		ip.valid = false
+		ip.din = layout.Dinode{}
+	} else {
+		ip = &inode{inum: inum, ref: 1}
+	}
 	fs.inodes[inum] = ip
 	return ip
 }
@@ -548,7 +582,10 @@ func (fs *FS) iput(t *kernel.Task, ip *inode, hasTxn bool) error {
 	fs.itabMu.Lock()
 	ip.ref--
 	if ip.ref == 0 {
+		// Nothing outside the table names this struct anymore; recycle.
 		delete(fs.inodes, ip.inum)
+		ip.freeNext = fs.ifree
+		fs.ifree = ip
 	}
 	fs.itabMu.Unlock()
 	return nil
@@ -577,15 +614,19 @@ func (fs *FS) bmap(t *kernel.Task, ip *inode, bn uint64, alloc bool) (blk uint32
 		}
 		return ip.din.Addrs[bn], false, nil
 	}
-	var idxs []int
+	// Index path as a by-value array: the per-block write path must not
+	// build a slice per bmap call.
+	var idxs [2]int
+	depth := 1
 	var slot *uint32
 	if bn < layout.NDirect+layout.NIndirect {
 		slot = &ip.din.Addrs[layout.IndirectSlot]
-		idxs = []int{int(bn - layout.NDirect)}
+		idxs[0] = int(bn - layout.NDirect)
 	} else {
 		off := bn - layout.NDirect - layout.NIndirect
 		slot = &ip.din.Addrs[layout.DIndirectSlot]
-		idxs = []int{int(off / layout.NIndirect), int(off % layout.NIndirect)}
+		idxs[0], idxs[1] = int(off/layout.NIndirect), int(off%layout.NIndirect)
+		depth = 2
 	}
 	cur := *slot
 	if cur == 0 {
@@ -602,8 +643,9 @@ func (fs *FS) bmap(t *kernel.Task, ip *inode, bn uint64, alloc bool) (blk uint32
 		}
 		cur = a
 	}
-	for lvl, idx := range idxs {
-		leaf := lvl == len(idxs)-1
+	for lvl := 0; lvl < depth; lvl++ {
+		idx := idxs[lvl]
+		leaf := lvl == depth-1
 		bh, err := fs.bc.Get(t, int(cur))
 		if err != nil {
 			return 0, false, err
@@ -720,7 +762,7 @@ func (fs *FS) readi(t *kernel.Task, ip *inode, off int64, buf []byte) (int, erro
 			}
 		case direct:
 			if bounce == nil {
-				bounce = make([]byte, layout.BlockSize)
+				bounce = ip.bounceBuf()
 			}
 			if err := fs.bc.ReadDirect(t, int(blk), bounce); err != nil {
 				return int(done), err
@@ -770,7 +812,7 @@ func (fs *FS) writei(t *kernel.Task, ip *inode, off int64, buf []byte) (int, err
 				// leaf orphaned by a failed direct write, which skipped
 				// balloc's zeroing); device content otherwise.
 				if bounce == nil {
-					bounce = make([]byte, layout.BlockSize)
+					bounce = ip.bounceBuf()
 				}
 				if fresh || int64(bn)*layout.BlockSize >= int64(ip.din.Size) {
 					clear(bounce)
