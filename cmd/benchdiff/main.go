@@ -113,15 +113,26 @@ type HostCell struct {
 	NS  int64
 }
 
+// MetricDelta is one changed trace counter on a cell both runs traced
+// (produced with `bentobench -metrics`). Like host time, metrics are
+// informational only: they explain a throughput delta, they never gate.
+type MetricDelta struct {
+	Key      cellKey
+	Counter  string
+	Old, New int64
+}
+
 // Report is the outcome of comparing two record sets.
 type Report struct {
 	Tol          float64
-	Regressions  []Delta    // beyond tolerance: fail
-	Improvements []Delta    // beyond tolerance the other way: informational
-	Drifts       []Delta    // within tolerance but not identical: informational
-	Missing      []cellKey  // in baseline, absent from fresh: fail
-	Added        []cellKey  // new cells: informational
-	HostTimes    []HostCell // fresh-run host wall-clock per cell, record order; empty without -hostns
+	Regressions  []Delta       // beyond tolerance: fail
+	Improvements []Delta       // beyond tolerance the other way: informational
+	Drifts       []Delta       // within tolerance but not identical: informational
+	Missing      []cellKey     // in baseline, absent from fresh: fail
+	Added        []cellKey     // new cells: informational
+	HostTimes    []HostCell    // fresh-run host wall-clock per cell, record order; empty without -hostns
+	MetricDeltas []MetricDelta // changed counters on cells traced in both runs
+	MetricCells  int           // cells carrying metrics on both sides
 	Compared     int
 }
 
@@ -157,6 +168,27 @@ func Compare(baseline, fresh []harness.Record, tol float64) Report {
 		if !ok {
 			rep.Missing = append(rep.Missing, k)
 			continue
+		}
+		if len(b.Metrics) > 0 && len(n.Metrics) > 0 {
+			rep.MetricCells++
+			names := make([]string, 0, len(b.Metrics)+len(n.Metrics))
+			seenName := make(map[string]bool, len(names))
+			for name := range b.Metrics {
+				seenName[name] = true
+				names = append(names, name)
+			}
+			for name := range n.Metrics {
+				if !seenName[name] {
+					names = append(names, name)
+				}
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				if b.Metrics[name] != n.Metrics[name] {
+					rep.MetricDeltas = append(rep.MetricDeltas,
+						MetricDelta{Key: k, Counter: name, Old: b.Metrics[name], New: n.Metrics[name]})
+				}
+			}
 		}
 		oldT, okOld := throughput(b)
 		newT, okNew := throughput(n)
@@ -232,6 +264,10 @@ func (r Report) Text() string {
 	}
 	out += fmt.Sprintf("benchdiff: %s — %d cells compared, %d regressed, %d missing, %d improved, %d drifted, %d added (tol %.0f%%)\n",
 		verdict, r.Compared, len(r.Regressions), len(r.Missing), len(r.Improvements), len(r.Drifts), len(r.Added), r.Tol*100)
+	if r.MetricCells > 0 {
+		out += fmt.Sprintf("metrics: %d counters changed across %d traced cells (informational, never gates)\n",
+			len(r.MetricDeltas), r.MetricCells)
+	}
 	return out
 }
 
@@ -291,6 +327,23 @@ func (r Report) Markdown() string {
 		b.WriteString("| cell | host ms |\n|---|---:|\n")
 		for _, h := range r.HostTimes {
 			fmt.Fprintf(&b, "| `%s` | %.1f |\n", h.Key, float64(h.NS)/1e6)
+		}
+		b.WriteString("\n</details>\n\n")
+	}
+	if r.MetricCells > 0 {
+		// Informational, never gating: counter deltas from -metrics runs
+		// explain *why* a cell's throughput moved (more misses, more
+		// commits, more round-trips). Collapsed like host time so the
+		// table doesn't dominate the summary page.
+		fmt.Fprintf(&b, "<details><summary>Trace-counter deltas (informational) — %d changed across %d traced cells</summary>\n\n",
+			len(r.MetricDeltas), r.MetricCells)
+		if len(r.MetricDeltas) == 0 {
+			b.WriteString("No counter changed.\n")
+		} else {
+			b.WriteString("| cell | counter | baseline | fresh | Δ |\n|---|---|---:|---:|---:|\n")
+			for _, m := range r.MetricDeltas {
+				fmt.Fprintf(&b, "| `%s` | `%s` | %d | %d | %+d |\n", m.Key, m.Counter, m.Old, m.New, m.New-m.Old)
+			}
 		}
 		b.WriteString("\n</details>\n\n")
 	}

@@ -166,6 +166,52 @@ func TestHostTimesAreInformational(t *testing.T) {
 	}
 }
 
+func TestMetricsAreInformational(t *testing.T) {
+	base := []harness.Record{rec("fig2", "Bento", "read-seq-32t-4k", 1000, 50000, 0, 0)}
+	fresh := []harness.Record{rec("fig2", "Bento", "read-seq-32t-4k", 1000, 50000, 0, 0)}
+	base[0].Metrics = map[string]int64{"page_hits": 900, "page_misses": 100, "syscalls": 1000}
+	fresh[0].Metrics = map[string]int64{"page_hits": 950, "page_misses": 50, "syscalls": 1000, "ra_batches": 7}
+	rep := Compare(base, fresh, 0.05)
+	if rep.Failed() {
+		t.Fatalf("metric deltas must never gate: %s", rep.Text())
+	}
+	if rep.MetricCells != 1 || len(rep.MetricDeltas) != 3 {
+		t.Fatalf("metric deltas = %+v (cells %d)", rep.MetricDeltas, rep.MetricCells)
+	}
+	md := rep.Markdown()
+	for _, want := range []string{
+		"Trace-counter deltas (informational) — 3 changed across 1 traced cells",
+		"| `fig2/Bento/read-seq-32t-4k` | `page_hits` | 900 | 950 | +50 |",
+		"| `fig2/Bento/read-seq-32t-4k` | `page_misses` | 100 | 50 | -50 |",
+		"| `fig2/Bento/read-seq-32t-4k` | `ra_batches` | 0 | 7 | +7 |",
+	} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	if strings.Contains(md, "`syscalls`") {
+		t.Fatalf("unchanged counter listed:\n%s", md)
+	}
+	if !strings.Contains(rep.Text(), "metrics: 3 counters changed across 1 traced cells") {
+		t.Fatalf("text summary missing metrics line:\n%s", rep.Text())
+	}
+}
+
+func TestMetricsAbsentOnOneSideAreIgnored(t *testing.T) {
+	// Old baselines predate -metrics; comparing against them must not
+	// produce a metrics section (and certainly must not fail).
+	base := []harness.Record{rec("fig2", "Bento", "read-seq-32t-4k", 1000, 50000, 0, 0)}
+	fresh := []harness.Record{rec("fig2", "Bento", "read-seq-32t-4k", 1000, 50000, 0, 0)}
+	fresh[0].Metrics = map[string]int64{"page_hits": 950}
+	rep := Compare(base, fresh, 0.05)
+	if rep.Failed() || rep.MetricCells != 0 || len(rep.MetricDeltas) != 0 {
+		t.Fatalf("one-sided metrics mishandled: %+v", rep)
+	}
+	if strings.Contains(rep.Markdown(), "Trace-counter deltas") {
+		t.Fatalf("markdown shows a metrics section without metrics on both sides:\n%s", rep.Markdown())
+	}
+}
+
 func TestHostTimesAbsentWithoutHostNS(t *testing.T) {
 	base := []harness.Record{rec("fig2", "Bento", "read-seq-32t-4k", 1000, 50000, 0, 0)}
 	rep := Compare(base, base, 0.05)

@@ -9,6 +9,8 @@
 //	bentobench -json            # machine-readable cells on stdout (tables go to stderr)
 //	bentobench -parallel 4      # host workers for cell execution (default NumCPU; 1 = sequential)
 //	bentobench -hostns          # include per-cell host wall-clock in -json (not byte-stable)
+//	bentobench -metrics         # per-cell trace counters in -json records (metrics map)
+//	bentobench -trace traces/   # one Chrome/Perfetto trace JSON per cell (virtual timeline)
 //	bentobench -shards 8        # add the sharded-buffer-cache Bento row
 //	bentobench -noiod           # disable background I/O (read-ahead + flusher)
 //	bentobench -databypass=false # re-enable data double-caching (seed behaviour)
@@ -39,6 +41,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit machine-readable results (one JSON array) on stdout; tables move to stderr")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "benchmark cells to run concurrently on the host (1 = sequential; output is identical either way)")
 	hostns := flag.Bool("hostns", false, "include per-cell host wall-clock (host_ns) in -json records; informational and not byte-stable across runs")
+	metrics := flag.Bool("metrics", false, "attach trace counters to each cell and emit them as the record's metrics map (deterministic)")
+	traceDir := flag.String("trace", "", "write one Chrome/Perfetto trace-event JSON per cell (virtual timeline, byte-stable) into this directory")
 	shards := flag.Int("shards", 0, "buffer-cache shards for the Bento-shard study row (>1 to enable)")
 	noiod := flag.Bool("noiod", false, "disable the background I/O subsystem on the in-kernel variants")
 	databypass := flag.Bool("databypass", true, "single-copy data caching: file contents bypass the buffer cache on the in-kernel variants (false restores the seed's double-caching)")
@@ -63,6 +67,14 @@ func main() {
 	o.CacheShards = *shards
 	o.NoIODaemon = *noiod
 	o.NoDataBypass = !*databypass
+	o.Metrics = *metrics
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "bentobench: -trace: %v\n", err)
+			os.Exit(1)
+		}
+		o.TraceDir = *traceDir
+	}
 
 	tables := os.Stdout
 	if *jsonOut {

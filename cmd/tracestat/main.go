@@ -1,0 +1,435 @@
+// tracestat analyzes the Chrome/Perfetto trace files written by
+// `bentobench -trace <dir>` and answers the paper's Figure-2 question
+// from data: where did each cell's virtual time go?
+//
+// Usage:
+//
+//	bentobench -quick -trace traces/
+//	tracestat traces/                      # breakdown table for every cell
+//	tracestat -hist traces/fig2_FUSE_*.json  # add per-op latency histograms
+//	tracestat -md traces/ >> "$GITHUB_STEP_SUMMARY"
+//
+// Arguments are trace files or directories (scanned non-recursively for
+// *.trace.json). Two reports are rendered:
+//
+//   - The breakdown table: per cell, the exclusive virtual time spent in
+//     each span category — syscall / cache / journal / device / daemon /
+//     fuse / app — as a percentage of the cell's total virtual span
+//     time. "app" is the benchmark worker's own time (the worker span
+//     minus everything nested inside it). Exclusive time is computed by
+//     a per-track stack sweep over the properly-nested spans, so the
+//     categories sum exactly to the total.
+//
+//   - Per-op latency histograms (-hist): for each (variant, op), the
+//     distribution of syscall span durations in power-of-two buckets,
+//     with exact count/p50/p99/max from the recorded durations.
+//
+// The input traces are byte-deterministic, so both reports are too.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/bits"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	md := flag.Bool("md", false, "render GitHub-flavored Markdown instead of plain text")
+	hist := flag.Bool("hist", false, "include per-op latency histograms (syscall spans)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "tracestat: no trace files or directories given")
+		flag.Usage()
+		os.Exit(2)
+	}
+	paths, err := expandArgs(flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracestat: %v\n", err)
+		os.Exit(2)
+	}
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "tracestat: no *.trace.json files found")
+		os.Exit(2)
+	}
+	var cells []cellStat
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracestat: %v\n", err)
+			os.Exit(2)
+		}
+		ct, err := parseTrace(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracestat: %s: %v\n", p, err)
+			os.Exit(2)
+		}
+		st, err := analyze(ct)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracestat: %s: %v\n", p, err)
+			os.Exit(2)
+		}
+		cells = append(cells, st)
+	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i].key() < cells[j].key() })
+	if *md {
+		fmt.Print(breakdownMarkdown(cells))
+		if *hist {
+			fmt.Print(histogramsMarkdown(cells))
+		}
+	} else {
+		fmt.Print(breakdownText(cells))
+		if *hist {
+			fmt.Print(histogramsText(cells))
+		}
+	}
+}
+
+// expandArgs resolves files and directories (one level: *.trace.json)
+// into a sorted, de-duplicated path list.
+func expandArgs(args []string) ([]string, error) {
+	var out []string
+	seen := map[string]bool{}
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, a := range args {
+		fi, err := os.Stat(a)
+		if err != nil {
+			return nil, err
+		}
+		if !fi.IsDir() {
+			add(a)
+			continue
+		}
+		matches, err := filepath.Glob(filepath.Join(a, "*.trace.json"))
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range matches {
+			add(m)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// breakdownCats is the column order of the report. "worker" renders as
+// "app": its exclusive time is what the benchmark loop itself spent.
+var breakdownCats = []string{"syscall", "cache", "journal", "device", "daemon", "fuse", "worker"}
+
+func catLabel(c string) string {
+	if c == "worker" {
+		return "app"
+	}
+	return c
+}
+
+// span is one "X" event recovered from a trace file.
+type span struct {
+	tid   int
+	cat   string
+	name  string
+	start int64 // virtual ns
+	dur   int64 // virtual ns
+}
+
+// cellTrace is one parsed trace file.
+type cellTrace struct {
+	experiment, variant, cell string
+	spans                     []span
+}
+
+// parseTrace decodes one Chrome trace-event JSON file, keeping the "X"
+// (complete span) events; instants and counter samples don't carry
+// durations and are skipped. Timestamps are microseconds with
+// nanosecond precision; they are recovered exactly via round(ts*1000).
+func parseTrace(data []byte) (cellTrace, error) {
+	var raw struct {
+		OtherData   map[string]string `json:"otherData"`
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			Tid  int     `json:"tid"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return cellTrace{}, fmt.Errorf("not a trace-event JSON file: %w", err)
+	}
+	ct := cellTrace{
+		experiment: raw.OtherData["experiment"],
+		variant:    raw.OtherData["variant"],
+		cell:       raw.OtherData["cell"],
+	}
+	if ct.variant == "" || ct.cell == "" {
+		return cellTrace{}, fmt.Errorf("missing otherData variant/cell labels (not written by bentobench -trace?)")
+	}
+	for _, e := range raw.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		if e.Cat == "" {
+			return cellTrace{}, fmt.Errorf("span %q has no category", e.Name)
+		}
+		s := span{
+			tid:   e.Tid,
+			cat:   e.Cat,
+			name:  e.Name,
+			start: int64(math.Round(e.Ts * 1000)),
+			dur:   int64(math.Round(e.Dur * 1000)),
+		}
+		if s.dur < 0 || s.start < 0 {
+			return cellTrace{}, fmt.Errorf("span %q has negative time (ts=%v dur=%v)", e.Name, e.Ts, e.Dur)
+		}
+		ct.spans = append(ct.spans, s)
+	}
+	return ct, nil
+}
+
+// cellStat is the analysis of one cell: exclusive ns per category, the
+// total (sum of top-level span durations), and per-op syscall latencies.
+type cellStat struct {
+	experiment, variant, cell string
+	excl                      map[string]int64
+	total                     int64
+	opDurs                    map[string][]int64 // syscall name -> span durations
+}
+
+func (c cellStat) key() string {
+	return c.experiment + "/" + c.variant + "/" + c.cell
+}
+
+// analyze computes exclusive time per category with a stack sweep over
+// each track's spans. Spans on a track are properly nested (task clocks
+// are monotonic), so sorting by (start asc, dur desc) visits parents
+// before their children and a stack models containment exactly:
+// exclusive(span) = dur − Σ dur(direct children), and the per-category
+// exclusive totals sum to the total top-level duration by telescoping.
+func analyze(ct cellTrace) (cellStat, error) {
+	st := cellStat{
+		experiment: ct.experiment,
+		variant:    ct.variant,
+		cell:       ct.cell,
+		excl:       map[string]int64{},
+		opDurs:     map[string][]int64{},
+	}
+	byTrack := map[int][]span{}
+	for _, s := range ct.spans {
+		byTrack[s.tid] = append(byTrack[s.tid], s)
+		if s.cat == "syscall" {
+			st.opDurs[s.name] = append(st.opDurs[s.name], s.dur)
+		}
+	}
+	for _, spans := range byTrack {
+		sort.SliceStable(spans, func(i, j int) bool {
+			if spans[i].start != spans[j].start {
+				return spans[i].start < spans[j].start
+			}
+			return spans[i].dur > spans[j].dur
+		})
+		type frame struct {
+			s        span
+			childDur int64
+		}
+		var stack []frame
+		pop := func() error {
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			ex := f.s.dur - f.childDur
+			if ex < 0 {
+				return fmt.Errorf("spans on track %d are not properly nested at %q (children overrun parent by %dns)", f.s.tid, f.s.name, -ex)
+			}
+			st.excl[f.s.cat] += ex
+			return nil
+		}
+		for _, s := range spans {
+			for len(stack) > 0 && stack[len(stack)-1].s.start+stack[len(stack)-1].s.dur <= s.start {
+				if err := pop(); err != nil {
+					return cellStat{}, err
+				}
+			}
+			if len(stack) > 0 {
+				top := &stack[len(stack)-1]
+				if s.start+s.dur > top.s.start+top.s.dur {
+					return cellStat{}, fmt.Errorf("span %q [%d,%d) straddles the end of %q on track %d",
+						s.name, s.start, s.start+s.dur, top.s.name, s.tid)
+				}
+				top.childDur += s.dur
+			} else {
+				st.total += s.dur
+			}
+			stack = append(stack, frame{s: s})
+		}
+		for len(stack) > 0 {
+			if err := pop(); err != nil {
+				return cellStat{}, err
+			}
+		}
+	}
+	return st, nil
+}
+
+// fmtMS renders virtual ns as milliseconds.
+func fmtMS(ns int64) string { return fmt.Sprintf("%.3f", float64(ns)/1e6) }
+
+// pct renders part/total as a percentage ("-" when zero).
+func pct(part, total int64) string {
+	if part == 0 || total == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(part)/float64(total))
+}
+
+func breakdownText(cells []cellStat) string {
+	var b strings.Builder
+	b.WriteString("== where the virtual time went (exclusive time per category) ==\n")
+	fmt.Fprintf(&b, "%-10s %-10s %-22s %12s", "experiment", "variant", "cell", "total-ms")
+	for _, c := range breakdownCats {
+		fmt.Fprintf(&b, " %8s", catLabel(c))
+	}
+	b.WriteByte('\n')
+	for _, st := range cells {
+		fmt.Fprintf(&b, "%-10s %-10s %-22s %12s", st.experiment, st.variant, st.cell, fmtMS(st.total))
+		for _, c := range breakdownCats {
+			fmt.Fprintf(&b, " %8s", pct(st.excl[c], st.total))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func breakdownMarkdown(cells []cellStat) string {
+	var b strings.Builder
+	b.WriteString("## tracestat: where the virtual time went\n\n")
+	b.WriteString("Exclusive virtual time per span category, as a share of each cell's total.\n\n")
+	b.WriteString("| cell | total ms |")
+	for _, c := range breakdownCats {
+		fmt.Fprintf(&b, " %s |", catLabel(c))
+	}
+	b.WriteString("\n|---|---:|")
+	b.WriteString(strings.Repeat("---:|", len(breakdownCats)))
+	b.WriteByte('\n')
+	for _, st := range cells {
+		fmt.Fprintf(&b, "| `%s` | %s |", st.key(), fmtMS(st.total))
+		for _, c := range breakdownCats {
+			fmt.Fprintf(&b, " %s |", pct(st.excl[c], st.total))
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// opHist is one (variant, op) latency distribution aggregated across
+// the input cells.
+type opHist struct {
+	variant, op string
+	durs        []int64
+}
+
+func collectHists(cells []cellStat) []opHist {
+	byKey := map[string]*opHist{}
+	var keys []string
+	for _, st := range cells {
+		for op, durs := range st.opDurs {
+			k := st.variant + "\x00" + op
+			h, ok := byKey[k]
+			if !ok {
+				h = &opHist{variant: st.variant, op: op}
+				byKey[k] = h
+				keys = append(keys, k)
+			}
+			h.durs = append(h.durs, durs...)
+		}
+	}
+	sort.Strings(keys)
+	out := make([]opHist, 0, len(keys))
+	for _, k := range keys {
+		h := byKey[k]
+		sort.Slice(h.durs, func(i, j int) bool { return h.durs[i] < h.durs[j] })
+		out = append(out, *h)
+	}
+	return out
+}
+
+// bucketOf maps a duration to its power-of-two histogram bucket index:
+// bucket i covers [2^(i-1), 2^i) ns, bucket 0 covers the single value 0.
+func bucketOf(ns int64) int { return bits.Len64(uint64(ns)) }
+
+// bucketLabel renders the range of bucket i in human units.
+func bucketLabel(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	return fmt.Sprintf("[%s,%s)", fmtNS(int64(1)<<(i-1)), fmtNS(int64(1)<<i))
+}
+
+func fmtNS(ns int64) string {
+	switch {
+	case ns >= 1e6:
+		return fmt.Sprintf("%gms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%gµs", float64(ns)/1e3)
+	}
+	return fmt.Sprintf("%dns", ns)
+}
+
+// percentile reports the p-th percentile (nearest-rank) of sorted durs.
+func percentile(sorted []int64, p int) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := (len(sorted) - 1) * p / 100
+	return sorted[i]
+}
+
+func histogramsText(cells []cellStat) string {
+	var b strings.Builder
+	for _, h := range collectHists(cells) {
+		fmt.Fprintf(&b, "\n== %s %s: n=%d p50=%s p99=%s max=%s ==\n",
+			h.variant, h.op, len(h.durs),
+			fmtNS(percentile(h.durs, 50)), fmtNS(percentile(h.durs, 99)), fmtNS(h.durs[len(h.durs)-1]))
+		counts := map[int]int{}
+		lo, hi := bucketOf(h.durs[0]), bucketOf(h.durs[len(h.durs)-1])
+		peak := 0
+		for _, d := range h.durs {
+			counts[bucketOf(d)]++
+			if c := counts[bucketOf(d)]; c > peak {
+				peak = c
+			}
+		}
+		for i := lo; i <= hi; i++ {
+			bar := strings.Repeat("#", counts[i]*40/peak)
+			fmt.Fprintf(&b, "%16s %8d %s\n", bucketLabel(i), counts[i], bar)
+		}
+	}
+	return b.String()
+}
+
+func histogramsMarkdown(cells []cellStat) string {
+	hists := collectHists(cells)
+	if len(hists) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("<details><summary>Per-op latency (syscall spans, virtual time)</summary>\n\n")
+	b.WriteString("| variant | op | n | p50 | p99 | max |\n|---|---|---:|---:|---:|---:|\n")
+	for _, h := range hists {
+		fmt.Fprintf(&b, "| %s | `%s` | %d | %s | %s | %s |\n",
+			h.variant, h.op, len(h.durs),
+			fmtNS(percentile(h.durs, 50)), fmtNS(percentile(h.durs, 99)), fmtNS(h.durs[len(h.durs)-1]))
+	}
+	b.WriteString("\n</details>\n\n")
+	return b.String()
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func readGolden(t *testing.T) cellStat {
+	t.Helper()
+	data, err := os.ReadFile("testdata/golden.trace.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := parseTrace(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := analyze(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestGoldenBreakdownSumsToTotal(t *testing.T) {
+	st := readGolden(t)
+	if st.variant != "FUSE" || st.cell != "read-seq-1t-4k" || st.experiment != "fig2" {
+		t.Fatalf("labels = %s/%s/%s", st.experiment, st.variant, st.cell)
+	}
+	// The worker "run" span is the only top-level span: 100µs.
+	if st.total != 100000 {
+		t.Fatalf("total = %d ns, want 100000", st.total)
+	}
+	want := map[string]int64{
+		// run(100000) minus the three nested syscalls (20000+8000+2000).
+		"worker": 70000,
+		// (20000-16000 under the fuse round-trip) + 8000 + 2000.
+		"syscall": 14000,
+		// round-trip 16000 minus the nested 10000 device read.
+		"fuse":   6000,
+		"device": 10000,
+	}
+	var sum int64
+	for cat, v := range st.excl {
+		sum += v
+		if want[cat] != v {
+			t.Errorf("excl[%q] = %d, want %d", cat, v, want[cat])
+		}
+	}
+	if len(st.excl) != len(want) {
+		t.Errorf("categories = %v, want %v", st.excl, want)
+	}
+	// The acceptance contract: the breakdown sums exactly to the cell's
+	// total virtual time.
+	if sum != st.total {
+		t.Fatalf("Σ exclusive = %d, total = %d", sum, st.total)
+	}
+}
+
+func TestGoldenBreakdownPercentages(t *testing.T) {
+	st := readGolden(t)
+	out := breakdownText([]cellStat{st})
+	for _, frag := range []string{"70.0%", "14.0%", "6.0%", "10.0%", "0.100"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("breakdown missing %q:\n%s", frag, out)
+		}
+	}
+	md := breakdownMarkdown([]cellStat{st})
+	if !strings.Contains(md, "| `fig2/FUSE/read-seq-1t-4k` | 0.100 |") {
+		t.Errorf("markdown breakdown row malformed:\n%s", md)
+	}
+}
+
+func TestGoldenHistogram(t *testing.T) {
+	st := readGolden(t)
+	if got := st.opDurs["pread"]; len(got) != 2 {
+		t.Fatalf("pread durations = %v, want 2 entries", got)
+	}
+	hists := collectHists([]cellStat{st})
+	if len(hists) != 2 { // fstat, pread (sorted)
+		t.Fatalf("got %d histograms, want 2", len(hists))
+	}
+	pread := hists[1]
+	if pread.op != "pread" || pread.durs[0] != 8000 || pread.durs[1] != 20000 {
+		t.Fatalf("pread hist = %+v", pread)
+	}
+	if p50 := percentile(pread.durs, 50); p50 != 8000 {
+		t.Fatalf("p50 = %d, want 8000", p50)
+	}
+	out := histogramsText([]cellStat{st})
+	if !strings.Contains(out, "[16.384µs,32.768µs)") || !strings.Contains(out, "[4.096µs,8.192µs)") {
+		t.Errorf("histogram buckets missing:\n%s", out)
+	}
+}
+
+func TestBucketing(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{{0, 0}, {1, 1}, {2, 2}, {1023, 10}, {1024, 11}, {8000, 13}, {20000, 15}}
+	for _, c := range cases {
+		if got := bucketOf(c.ns); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+	if bucketLabel(0) != "0" {
+		t.Errorf("bucketLabel(0) = %q", bucketLabel(0))
+	}
+	if got := bucketLabel(11); got != "[1.024µs,2.048µs)" {
+		t.Errorf("bucketLabel(11) = %q", got)
+	}
+}
+
+func TestMalformedInputs(t *testing.T) {
+	cases := map[string]string{
+		"invalid JSON":   `{`,
+		"missing labels": `{"otherData":{},"traceEvents":[]}`,
+		"span without category": `{"otherData":{"cell":"c","variant":"v"},"traceEvents":[
+			{"name":"x","ph":"X","tid":0,"ts":0,"dur":1}]}`,
+		"negative duration": `{"otherData":{"cell":"c","variant":"v"},"traceEvents":[
+			{"name":"x","cat":"syscall","ph":"X","tid":0,"ts":0,"dur":-1}]}`,
+	}
+	for name, in := range cases {
+		if _, err := parseTrace([]byte(in)); err == nil {
+			t.Errorf("%s: parseTrace accepted malformed input", name)
+		}
+	}
+	// Overlapping-but-not-nested spans on one track are rejected by the
+	// stack sweep, not the parser.
+	ct, err := parseTrace([]byte(`{"otherData":{"cell":"c","variant":"v"},"traceEvents":[
+		{"name":"a","cat":"syscall","ph":"X","tid":0,"ts":0,"dur":10},
+		{"name":"b","cat":"syscall","ph":"X","tid":0,"ts":5,"dur":10}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := analyze(ct); err == nil || !strings.Contains(err.Error(), "straddles") {
+		t.Errorf("analyze accepted straddling spans (err=%v)", err)
+	}
+}

@@ -22,6 +22,7 @@ import (
 
 	"bento/internal/blockdev"
 	"bento/internal/kernel"
+	"bento/internal/trace"
 )
 
 // Violation is the error type for ownership-contract violations. In Rust
@@ -330,7 +331,14 @@ func (sb *SuperBlock) Flush(t *kernel.Task) error {
 	if err := sb.check(); err != nil {
 		return err
 	}
-	return sb.bc.Device().Flush(t.Clk)
+	start := t.Clk.NowNS()
+	if err := sb.bc.Device().Flush(t.Clk); err != nil {
+		return err
+	}
+	if r := t.Rec(); r != nil {
+		r.Span(t.Name, trace.CatDevice, "flush", start, t.Clk.NowNS())
+	}
+	return nil
 }
 
 // BufferCacheStats exposes hit/miss counters.
@@ -407,7 +415,7 @@ func (b *BufferHead) WriteSync(t *kernel.Task) error {
 	if err != nil {
 		return err
 	}
-	t.Clk.AdvanceTo(done)
+	t.WaitIO("bwrite", done)
 	return nil
 }
 

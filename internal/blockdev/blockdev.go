@@ -32,6 +32,7 @@ import (
 	"sync"
 
 	"bento/internal/costmodel"
+	"bento/internal/trace"
 	"bento/internal/vclock"
 )
 
@@ -83,6 +84,13 @@ type Device struct {
 	res     *vclock.Resource
 	model   *costmodel.Model
 	stats   Stats
+
+	// rec counts commands into the cell's trace recorder and samples
+	// queue occupancy every sampleEvery-th command. Nil records nothing.
+	// The sample counter rides under mu, so sampling points are a pure
+	// function of command order — deterministic under the scheduler.
+	rec    *trace.Recorder
+	cmdSeq int64
 
 	// fault injection
 	readErr  map[int]error
@@ -137,6 +145,25 @@ func (d *Device) Blocks() int { return d.blocks }
 // Model exposes the device's cost model (shared with the kernel sim).
 func (d *Device) Model() *costmodel.Model { return d.model }
 
+// sampleEvery is the command-count stride between queue-occupancy trace
+// samples; sampling by count (not time) keeps the overhead bounded on
+// I/O-heavy cells while still resolving queue build-up.
+const sampleEvery = 64
+
+// SetRecorder attaches the cell's trace recorder (nil disables). The
+// harness sets it at device creation, before any I/O.
+func (d *Device) SetRecorder(r *trace.Recorder) { d.rec = r }
+
+// sampleLocked emits a queue-occupancy sample every sampleEvery-th
+// command. Caller holds d.mu; the completion time has already been
+// booked on d.res.
+func (d *Device) sampleLocked(now int64) {
+	d.cmdSeq++
+	if d.cmdSeq%sampleEvery == 0 {
+		d.rec.Sample(d.name, "qdepth", now, int64(d.res.InUse(now)))
+	}
+}
+
 // Read copies block blk into buf (len must equal BlockSize) and advances
 // clk to the command's completion time.
 func (d *Device) Read(clk *vclock.Clock, blk int, buf []byte) error {
@@ -155,9 +182,11 @@ func (d *Device) Read(clk *vclock.Clock, blk int, buf []byte) error {
 	}
 	d.stats.Reads++
 	d.stats.BytesRead += int64(d.blockSize)
-	d.mu.Unlock()
 
 	done := d.res.Acquire(clk.NowNS(), int64(d.model.DevRead(d.blockSize)))
+	d.rec.Add(trace.CtrDevReads, 1)
+	d.sampleLocked(done)
+	d.mu.Unlock()
 	clk.AdvanceTo(done)
 	return nil
 }
@@ -184,9 +213,12 @@ func (d *Device) Submit(clk *vclock.Clock, blk int, buf []byte) (completion int6
 	}
 	d.stats.Writes++
 	d.stats.BytesWritten += int64(d.blockSize)
-	d.mu.Unlock()
 
-	return d.res.Acquire(clk.NowNS(), int64(d.model.DevWrite(d.blockSize))), nil
+	completion = d.res.Acquire(clk.NowNS(), int64(d.model.DevWrite(d.blockSize)))
+	d.rec.Add(trace.CtrDevWrites, 1)
+	d.sampleLocked(completion)
+	d.mu.Unlock()
+	return completion, nil
 }
 
 // Write is a synchronous Submit: it waits (advances clk) for completion.
@@ -217,9 +249,11 @@ func (d *Device) Flush(clk *vclock.Clock) error {
 	}
 	d.dirty = make(map[int]struct{})
 	d.stats.Flushes++
-	d.mu.Unlock()
 
 	done := d.res.AcquireSerial(clk.NowNS(), int64(d.model.DevFlush(dirtyBytes)))
+	d.rec.Add(trace.CtrDevFlushes, 1)
+	d.sampleLocked(done)
+	d.mu.Unlock()
 	clk.AdvanceTo(done)
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"bento/internal/fsapi"
 	"bento/internal/kernel"
+	"bento/internal/trace"
 	"bento/internal/xv6/layout"
 )
 
@@ -37,7 +38,7 @@ func (fs *FS) recover(t *kernel.Task) error {
 			_ = src.Release()
 			_ = dst.Release()
 		}
-		t.Clk.AdvanceTo(last)
+		t.WaitIO("install", last)
 		if !fs.cfg.NoBarriers {
 			if err := fs.dev.Flush(t.Clk); err != nil {
 				return err
@@ -100,6 +101,10 @@ func (fs *FS) beginHandle(t *kernel.Task, nblocks int) {
 		fs.jCond.Wait()
 	}
 	fs.handles++
+	if r := t.Rec(); r != nil && fs.commitEnd > t.Clk.NowNS() {
+		r.Span(t.Name, trace.CatJournal, "begin-stall", t.Clk.NowNS(), fs.commitEnd)
+		r.Add(trace.CtrJournalStalls, 1)
+	}
 	t.Clk.AdvanceTo(fs.commitEnd)
 	fs.jMu.Unlock()
 }
@@ -115,6 +120,7 @@ func (fs *FS) jwrite(t *kernel.Task, bh *kernel.BufferHead) error {
 		return fmt.Errorf("ext4: journal write outside handle: %w", fsapi.ErrInvalid)
 	}
 	if fs.inTxn[blk] {
+		t.Rec().Add(trace.CtrJournalAbsorbed, 1)
 		return nil
 	}
 	if uint32(len(fs.txnBlocks)) >= JournalSize {
@@ -174,6 +180,9 @@ func (fs *FS) commitBarrier(t *kernel.Task) error {
 		}
 		fs.jCond.Wait()
 	}
+	if r := t.Rec(); r != nil && fs.commitEnd > t.Clk.NowNS() {
+		r.Span(t.Name, trace.CatJournal, "commit-wait", t.Clk.NowNS(), fs.commitEnd)
+	}
 	t.Clk.AdvanceTo(fs.commitEnd)
 	fs.jMu.Unlock()
 	return nil
@@ -190,7 +199,13 @@ func (fs *FS) commitLocked(t *kernel.Task) error {
 
 	var err error
 	if len(blocks) > 0 {
+		commitStart := t.Clk.NowNS()
 		err = fs.commitIO(t, blocks)
+		if r := t.Rec(); r != nil {
+			r.SpanAB(t.Name, trace.CatJournal, "commit", commitStart, t.Clk.NowNS(), int64(len(blocks)), 0)
+			r.Add(trace.CtrJournalCommits, 1)
+			r.Add(trace.CtrJournalBlocks, int64(len(blocks)))
+		}
 	}
 
 	fs.jMu.Lock()
@@ -238,7 +253,7 @@ func (fs *FS) commitIO(t *kernel.Task, blocks []uint32) error {
 		_ = dst.Release()
 		_ = src.Release()
 	}
-	t.Clk.AdvanceTo(last)
+	t.WaitIO("journal-write", last)
 
 	// Commit record + barrier.
 	hb, err := fs.bc.GetNoRead(t, int(fs.super.journalStart))
@@ -250,7 +265,7 @@ func (fs *FS) commitIO(t *kernel.Task, blocks []uint32) error {
 		return err
 	}
 	if !fs.cfg.NoBarriers {
-		if err := fs.dev.Flush(t.Clk); err != nil {
+		if err := fs.flushBarrier(t); err != nil {
 			return err
 		}
 	}
@@ -271,9 +286,9 @@ func (fs *FS) commitIO(t *kernel.Task, blocks []uint32) error {
 		}
 		_ = src.Release()
 	}
-	t.Clk.AdvanceTo(last)
+	t.WaitIO("install", last)
 	if !fs.cfg.NoBarriers {
-		if err := fs.dev.Flush(t.Clk); err != nil {
+		if err := fs.flushBarrier(t); err != nil {
 			return err
 		}
 	}
@@ -282,6 +297,19 @@ func (fs *FS) commitIO(t *kernel.Task, blocks []uint32) error {
 		return err
 	}
 	return hb.Release()
+}
+
+// flushBarrier issues the device FLUSH barrier, recorded as a device
+// span on the committing task.
+func (fs *FS) flushBarrier(t *kernel.Task) error {
+	start := t.Clk.NowNS()
+	if err := fs.dev.Flush(t.Clk); err != nil {
+		return err
+	}
+	if r := t.Rec(); r != nil {
+		r.Span(t.Name, trace.CatDevice, "flush", start, t.Clk.NowNS())
+	}
+	return nil
 }
 
 // txnFits reports whether adding n blocks would exceed the journal; used

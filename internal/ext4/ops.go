@@ -438,7 +438,7 @@ func (fs *FS) writei(t *kernel.Task, ip *inode, off int64, buf []byte) (int, err
 	var batchEnd int64 // latest completion of batched direct submits
 	wait := func() {
 		if batchEnd != 0 {
-			t.Clk.AdvanceTo(batchEnd)
+			t.WaitIO("write-batch", batchEnd)
 		}
 	}
 	var done int64

@@ -14,6 +14,7 @@ import (
 
 	"bento/internal/fsapi"
 	"bento/internal/kernel"
+	"bento/internal/trace"
 	"bento/internal/vclock"
 )
 
@@ -30,6 +31,11 @@ type Result struct {
 	Bytes   int64
 	Elapsed time.Duration // virtual
 	Errs    int64
+
+	// Metrics is the cell's trace-counter snapshot (cache hits, journal
+	// commits, FUSE round-trips, ...), populated by the harness when the
+	// run is traced with metrics enabled; nil otherwise.
+	Metrics map[string]int64
 }
 
 // OpsPerSec reports throughput in operations per virtual second.
@@ -97,6 +103,14 @@ func runWorkers(tg Target, name string, n int, startAt, duration time.Duration,
 			}
 			defer sw.Done()
 			task := tg.K.NewTaskWithClock(fmt.Sprintf("%s-w%d", name, w), clk)
+			if r := task.Rec(); r != nil {
+				// The whole measured run is one worker-category span; its
+				// exclusive time (what no nested span claims) is the
+				// application's own think time. Deferred so workers
+				// retired via Goexit still close their span.
+				wstart := clk.NowNS()
+				defer func() { r.Span(task.Name, trace.CatWorker, "run", wstart, clk.NowNS()) }()
+			}
 			deadline := clk.NowNS() + int64(duration)
 			pace := func() {
 				if !sw.Yield() {

@@ -10,6 +10,7 @@ import (
 	"bento/internal/core"
 	"bento/internal/fsapi"
 	"bento/internal/kernel"
+	"bento/internal/trace"
 )
 
 // maxWritePages caps one WRITE request at the FUSE default max_pages (32
@@ -182,12 +183,38 @@ var (
 // Session exposes the daemon (tests and stats).
 func (d *Driver) Session() *Session { return d.sess }
 
+// opTraceNames maps opcodes to const span names so traced round-trips
+// never allocate (Opcode.String builds a map per call).
+var opTraceNames = [OpDestroy + 1]string{
+	OpLookup: "LOOKUP", OpGetAttr: "GETATTR", OpSetAttr: "SETATTR",
+	OpCreate: "CREATE", OpMkdir: "MKDIR", OpUnlink: "UNLINK",
+	OpRmdir: "RMDIR", OpRename: "RENAME", OpLink: "LINK",
+	OpOpen: "OPEN", OpRelease: "RELEASE", OpRead: "READ",
+	OpWrite: "WRITE", OpFsync: "FSYNC", OpReadDir: "READDIR",
+	OpStatFS: "STATFS", OpSyncFS: "SYNCFS", OpInit: "INIT", OpDestroy: "DESTROY",
+}
+
+func opTraceName(o Opcode) string {
+	if int(o) < len(opTraceNames) && opTraceNames[o] != "" {
+		return opTraceNames[o]
+	}
+	return "OP?"
+}
+
 // roundTrip carries one request to the daemon and back, charging the
 // transport costs the paper attributes to FUSE: marshaling, copies,
-// context switches, and daemon serialization.
+// context switches, and daemon serialization. When traced, the whole
+// round-trip is one fuse-category span on the caller's track — the
+// userspace-crossing tax — with the stall behind the single-threaded
+// daemon nested inside it as "gate-wait".
 func (d *Driver) roundTrip(t *kernel.Task, req *Request) (*Reply, error) {
 	m := t.Model()
 	req.Unique = d.unique.Add(1)
+	rec := t.Rec()
+	var rtStart int64
+	if rec != nil {
+		rtStart = t.Clk.NowNS()
+	}
 
 	// Kernel side: marshal, copy to the daemon, wake it.
 	t.Charge(m.FuseMsg)
@@ -199,6 +226,9 @@ func (d *Driver) roundTrip(t *kernel.Task, req *Request) (*Reply, error) {
 	// Daemon gate: single-threaded service in virtual time and host time.
 	d.sess.mu.Lock()
 	if d.sess.freeAt > t.Clk.NowNS() {
+		if rec != nil {
+			rec.Span(t.Name, trace.CatFuse, "gate-wait", t.Clk.NowNS(), d.sess.freeAt)
+		}
 		t.Clk.AdvanceTo(d.sess.freeAt)
 	}
 	dreq, err := DecodeRequest(wire)
@@ -219,6 +249,13 @@ func (d *Driver) roundTrip(t *kernel.Task, req *Request) (*Reply, error) {
 	t.Charge(m.Copy(len(wireRep)))
 	t.Charge(m.CtxSwitch)
 	d.sess.bytesOut.Add(int64(len(wireRep)))
+	if rec != nil {
+		rec.SpanAB(t.Name, trace.CatFuse, opTraceName(req.Op), rtStart, t.Clk.NowNS(),
+			int64(len(wire)), int64(len(wireRep)))
+		rec.Add(trace.CtrFuseRequests, 1)
+		rec.Add(trace.CtrFuseBytesIn, int64(len(wire)))
+		rec.Add(trace.CtrFuseBytesOut, int64(len(wireRep)))
+	}
 
 	out, err := DecodeReply(wireRep)
 	if err != nil {

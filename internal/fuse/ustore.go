@@ -8,6 +8,7 @@ import (
 	"bento/internal/fsapi"
 	"bento/internal/kernel"
 	"bento/internal/lru"
+	"bento/internal/trace"
 )
 
 // UserDisk implements bentoks.Disk for a file system running in
@@ -79,21 +80,27 @@ func (ud *UserDisk) get(t *kernel.Task, blk int, fill bool) (bentoks.Buffer, err
 		return nb
 	})
 	if hit {
+		t.Rec().Add(trace.CtrBufHits, 1)
 		if err := b.AwaitFill(); err != nil {
 			ud.cache.Release(b)
 			return nil, err
 		}
 		return b, nil
 	}
+	t.Rec().Add(trace.CtrBufMisses, 1)
 
 	if fill {
 		// pread(disk file): syscall + crossing + synchronous device read.
 		t.Charge(t.Model().UserBlockSyscall)
 		t.Charge(t.Model().Copy(len(b.data)))
+		start := t.Clk.NowNS()
 		if err := ud.dev.Read(t.Clk, blk, b.data); err != nil {
 			ud.cache.Drop(int64(blk))
 			b.FailFill(err)
 			return nil, err
+		}
+		if r := t.Rec(); r != nil {
+			r.Span(t.Name, trace.CatDevice, "pread", start, t.Clk.NowNS())
 		}
 	}
 	b.CompleteFill()
@@ -136,7 +143,15 @@ func (ud *UserDisk) BReadDirect(t *kernel.Task, blk int, buf []byte) error {
 	}
 	t.Charge(t.Model().UserBlockSyscall)
 	t.Charge(t.Model().Copy(len(buf)))
-	return ud.dev.Read(t.Clk, blk, buf)
+	t.Rec().Add(trace.CtrDirectReads, 1)
+	start := t.Clk.NowNS()
+	if err := ud.dev.Read(t.Clk, blk, buf); err != nil {
+		return err
+	}
+	if r := t.Rec(); r != nil {
+		r.Span(t.Name, trace.CatDevice, "pread", start, t.Clk.NowNS())
+	}
+	return nil
 }
 
 // BWriteDirect implements bentoks.Disk: a synchronous pwrite(2) — from
@@ -149,8 +164,13 @@ func (ud *UserDisk) BWriteDirect(t *kernel.Task, blk int, buf []byte) (int64, er
 	ud.cache.Drop(int64(blk))
 	t.Charge(t.Model().UserBlockSyscall)
 	t.Charge(t.Model().Copy(len(buf)))
+	t.Rec().Add(trace.CtrDirectWrites, 1)
+	start := t.Clk.NowNS()
 	if err := ud.dev.Write(t.Clk, blk, buf); err != nil {
 		return 0, err
+	}
+	if r := t.Rec(); r != nil {
+		r.Span(t.Name, trace.CatDevice, "pwrite", start, t.Clk.NowNS())
 	}
 	return t.Clk.NowNS(), nil
 }
@@ -182,7 +202,14 @@ func (ud *UserDisk) SyncDirtyBuffers(t *kernel.Task) error {
 // disk file must be synced every time one block needs to be synced").
 func (ud *UserDisk) Flush(t *kernel.Task) error {
 	t.Charge(t.Model().UserBlockSyscall)
-	return ud.dev.Flush(t.Clk)
+	start := t.Clk.NowNS()
+	if err := ud.dev.Flush(t.Clk); err != nil {
+		return err
+	}
+	if r := t.Rec(); r != nil {
+		r.Span(t.Name, trace.CatDevice, "fsync-disk", start, t.Clk.NowNS())
+	}
+	return nil
 }
 
 // --- ubuf: bentoks.Buffer ---
@@ -222,8 +249,12 @@ func (b *ubuf) SubmitWrite(t *kernel.Task) (int64, error) {
 func (b *ubuf) WriteSync(t *kernel.Task) error {
 	t.Charge(t.Model().UserBlockSyscall)
 	t.Charge(t.Model().Copy(len(b.data)))
+	start := t.Clk.NowNS()
 	if err := b.ud.dev.Write(t.Clk, b.BlockNo(), b.data); err != nil {
 		return err
+	}
+	if r := t.Rec(); r != nil {
+		r.Span(t.Name, trace.CatDevice, "pwrite", start, t.Clk.NowNS())
 	}
 	b.ud.cache.ClearDirty(b)
 	return nil

@@ -2,9 +2,11 @@ package harness
 
 import (
 	"fmt"
+	"path/filepath"
 	"strings"
 
 	"bento/internal/filebench"
+	"bento/internal/trace"
 )
 
 // Experiment identifiers (the paper's table and figure numbers).
@@ -85,16 +87,40 @@ func workingSet(o Options, threads int) int64 {
 	return per
 }
 
+// finishCell attaches the cell's observability outputs to its result:
+// the counter snapshot when o.Metrics, and the per-cell Chrome trace
+// file when o.TraceDir. Untraced runs pass straight through.
+func finishCell(tg filebench.Target, r filebench.Result, exp, variant string, o Options) (filebench.Result, error) {
+	rec := tg.K.Recorder()
+	if rec == nil {
+		return r, nil
+	}
+	if o.Metrics {
+		r.Metrics = rec.Counters()
+	}
+	if o.TraceDir != "" {
+		path := filepath.Join(o.TraceDir, fmt.Sprintf("%s_%s_%s.trace.json", exp, variant, r.Name))
+		if err := rec.WriteFile(path, trace.Meta{Experiment: exp, Variant: variant, Cell: r.Name}); err != nil {
+			return r, fmt.Errorf("%s %s: writing trace: %w", exp, variant, err)
+		}
+	}
+	return r, nil
+}
+
 // readCell runs one read microbenchmark cell.
-func readCell(variant string, o Options, threads, ioSize int, random bool) (filebench.Result, error) {
+func readCell(exp, variant string, o Options, threads, ioSize int, random bool) (filebench.Result, error) {
 	tg, err := NewTarget(variant, o)
 	if err != nil {
 		return filebench.Result{}, err
 	}
-	return filebench.ReadMicro(tg, filebench.MicroConfig{
+	r, err := filebench.ReadMicro(tg, filebench.MicroConfig{
 		Threads: threads, IOSize: ioSize, FileSize: workingSet(o, threads),
 		Random: random, Duration: o.Duration, MaxOps: o.MaxOps, Seed: 1,
 	})
+	if err != nil {
+		return r, err
+	}
+	return finishCell(tg, r, exp, variant, o)
 }
 
 // readThreadCells is the (threads, random) grid shared by Figures 2 and 3.
@@ -122,7 +148,7 @@ func fig2Plan(o Options) *plan {
 			specs = append(specs, CellSpec{
 				Experiment: ExpFig2, Variant: v,
 				Run: func() (filebench.Result, error) {
-					r, err := readCell(v, o, c.threads, 4096, c.random)
+					r, err := readCell(ExpFig2, v, o, c.threads, 4096, c.random)
 					if err != nil {
 						return r, fmt.Errorf("fig2 %s: %w", v, err)
 					}
@@ -154,7 +180,7 @@ func fig3Plan(o Options) *plan {
 				specs = append(specs, CellSpec{
 					Experiment: ExpFig3, Variant: v,
 					Run: func() (filebench.Result, error) {
-						r, err := readCell(v, o, c.threads, size, c.random)
+						r, err := readCell(ExpFig3, v, o, c.threads, size, c.random)
 						if err != nil {
 							return r, fmt.Errorf("fig3 %s %d: %w", v, size, err)
 						}
@@ -209,7 +235,7 @@ func fig4Plan(o Options) *plan {
 						if err != nil {
 							return r, fmt.Errorf("fig4 %s %d: %w", v, size, err)
 						}
-						return r, nil
+						return finishCell(tg, r, ExpFig4, v, o)
 					},
 				})
 			}
@@ -249,7 +275,7 @@ func table4Plan(o Options) *plan {
 					if err != nil {
 						return r, fmt.Errorf("table4 %s: %w", v, err)
 					}
-					return r, nil
+					return finishCell(tg, r, ExpTable4, v, o)
 				},
 			})
 		}
@@ -287,7 +313,7 @@ func table5Plan(o Options) *plan {
 					if err != nil {
 						return r, fmt.Errorf("table5 %s: %w", v, err)
 					}
-					return r, nil
+					return finishCell(tg, r, ExpTable5, v, o)
 				},
 			})
 		}
@@ -316,7 +342,7 @@ func table6Plan(o Options) *plan {
 				if err != nil {
 					return r, fmt.Errorf("table6 varmail %s: %w", v, err)
 				}
-				return r, nil
+				return finishCell(tg, r, ExpTable6, v, o)
 			}},
 			CellSpec{Experiment: ExpTable6, Variant: v, Run: func() (filebench.Result, error) {
 				tg, err := NewTarget(v, o)
@@ -329,7 +355,7 @@ func table6Plan(o Options) *plan {
 				if err != nil {
 					return r, fmt.Errorf("table6 fileserver %s: %w", v, err)
 				}
-				return r, nil
+				return finishCell(tg, r, ExpTable6, v, o)
 			}},
 			CellSpec{Experiment: ExpTable6, Variant: v, Run: func() (filebench.Result, error) {
 				tg, err := NewTarget(v, o)
@@ -344,7 +370,7 @@ func table6Plan(o Options) *plan {
 				if err != nil {
 					return r, fmt.Errorf("table6 untar %s: %w", v, err)
 				}
-				return r, nil
+				return finishCell(tg, r, ExpTable6, v, o)
 			}},
 		)
 	}
@@ -400,7 +426,7 @@ func streamPlan(o Options) *plan {
 				if err != nil {
 					return r, fmt.Errorf("stream read %s: %w", v, err)
 				}
-				return r, nil
+				return finishCell(tg, r, ExpStream, v, o)
 			}})
 		if multi {
 			specs = append(specs, CellSpec{Experiment: ExpStream, Variant: v,
@@ -418,7 +444,7 @@ func streamPlan(o Options) *plan {
 					if err != nil {
 						return r, fmt.Errorf("stream read-%dt %s: %w", streams, v, err)
 					}
-					return r, nil
+					return finishCell(tg, r, ExpStream, v, o)
 				}})
 		}
 		specs = append(specs, CellSpec{Experiment: ExpStream, Variant: v,
@@ -432,7 +458,7 @@ func streamPlan(o Options) *plan {
 				if err != nil {
 					return r, fmt.Errorf("stream write %s: %w", v, err)
 				}
-				return r, nil
+				return finishCell(tg, r, ExpStream, v, o)
 			}})
 	}
 	return &plan{rows: vars, specs: specs, render: func(data map[string][]filebench.Result) string {

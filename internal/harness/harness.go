@@ -17,6 +17,7 @@ import (
 	"bento/internal/fuse"
 	"bento/internal/iodaemon"
 	"bento/internal/kernel"
+	"bento/internal/trace"
 	"bento/internal/vclock"
 	"bento/internal/xv6/bentoimpl"
 	"bento/internal/xv6/layout"
@@ -87,6 +88,18 @@ type Options struct {
 	// numbers. The FUSE variant never runs it either way.
 	NoIODaemon bool
 
+	// Metrics attaches a trace recorder to every cell and exports its
+	// counter snapshot as the record's `metrics` map. Off by default so
+	// the published -json records keep their exact historical bytes.
+	Metrics bool
+
+	// TraceDir, when non-empty, attaches a trace recorder to every cell
+	// and writes one Chrome/Perfetto trace-event JSON file per cell
+	// (named <experiment>_<variant>_<cell>.trace.json) into the
+	// directory, which must exist. Traces are on the virtual timeline
+	// and byte-identical across runs, hosts, and -parallel levels.
+	TraceDir string
+
 	// NoDataBypass disables single-copy data caching on the in-kernel
 	// variants: file contents go back through each file system's buffer
 	// cache (and journal), the seed's double-caching behaviour. The
@@ -99,6 +112,9 @@ type Options struct {
 // dataBypass reports whether the in-kernel variants run the single-copy
 // data path.
 func (o Options) dataBypass() bool { return !o.NoDataBypass }
+
+// traced reports whether cells carry a trace recorder.
+func (o Options) traced() bool { return o.Metrics || o.TraceDir != "" }
 
 // withShardRow appends the sharded-cache study row when enabled.
 func withShardRow(base []string, o Options) []string {
@@ -163,10 +179,17 @@ func Quick() Options {
 // mechanisms, which is the asymmetry the paper measures.
 func NewTarget(variant string, o Options) (filebench.Target, error) {
 	k := kernel.New(o.Model)
+	if o.traced() {
+		// Attached before any task or I/O exists: tasks copy the recorder
+		// pointer at creation, so mkfs/mount/setup record too.
+		rec := trace.New()
+		k.SetRecorder(rec)
+	}
 	dev, err := blockdev.New(blockdev.Config{Blocks: o.DevBlocks, Model: o.Model})
 	if err != nil {
 		return filebench.Target{}, err
 	}
+	dev.SetRecorder(k.Recorder())
 	task := k.NewTask("mount")
 
 	kernelMount := func(m *kernel.Mount) filebench.Target {

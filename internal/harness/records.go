@@ -14,6 +14,15 @@ type Record struct {
 	MBps       float64 `json:"mbps"`
 	Errs       int64   `json:"errs"`
 
+	// Metrics is the cell's trace-counter snapshot (under `bentobench
+	// -metrics`): stable snake_case counter names to values — cache
+	// hits/misses, journal commits, FUSE round-trips, and friends.
+	// Omitted (keeping the output byte-identical to untraced runs)
+	// unless metrics are enabled. Counters are virtual-time artifacts
+	// and deterministic, but remain informational: no gate compares
+	// them.
+	Metrics map[string]int64 `json:"metrics,omitempty"`
+
 	// HostNS is the host wall-clock the cell took to execute —
 	// informational only, never part of the determinism contract (it
 	// varies run to run and with -parallel). It is omitted from JSON

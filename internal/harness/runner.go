@@ -219,6 +219,7 @@ func RunMatrix(ids []string, o Options) ([]ExperimentResult, error) {
 					OpsPerSec:  r.OpsPerSec(),
 					MBps:       r.MBps(),
 					Errs:       r.Errs,
+					Metrics:    r.Metrics,
 					HostNS:     hs[i],
 				})
 				er.CellHostNS += hs[i]

@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"bento/internal/costmodel"
+	"bento/internal/trace"
 	"bento/internal/vclock"
 )
 
@@ -131,6 +132,11 @@ type Daemon[T Task] struct {
 	flushRuns  atomic.Int64
 	flushPages atomic.Int64
 	throttles  atomic.Int64
+
+	// rec mirrors the counters above into the cell's trace recorder and
+	// marks each read-ahead batch with an instant event. Nil (the
+	// default) records nothing.
+	rec *trace.Recorder
 }
 
 // New creates a daemon from its two worker tasks and a task fork
@@ -147,6 +153,10 @@ func New[T Task](cfg Config, raWorker, flusher T, fork func(at int64) T) *Daemon
 
 // Config reports the effective (defaulted) configuration.
 func (d *Daemon[T]) Config() Config { return d.cfg }
+
+// SetRecorder attaches the cell's trace recorder (nil disables). The
+// kernel wires it when the mount enables the daemon.
+func (d *Daemon[T]) SetRecorder(r *trace.Recorder) { d.rec = r }
 
 // Stats returns a snapshot of the daemon's counters.
 func (d *Daemon[T]) Stats() Stats {
@@ -204,6 +214,8 @@ func (d *Daemon[T]) FillAhead(now int64, start, count int64, fill func(t T, pg i
 		d.fillTask = d.fork(now)
 		d.hasFillTask = true
 	}
+	d.rec.Add(trace.CtrRABatches, 1)
+	d.rec.Instant("readahead", trace.CatDaemon, "ra-batch", now, start, count)
 	for pg := start; pg < start+count; pg++ {
 		t := d.fillTask
 		t.Clock().SetNS(now)
@@ -215,8 +227,10 @@ func (d *Daemon[T]) FillAhead(now int64, start, count int64, fill func(t T, pg i
 		}
 		if filled {
 			d.fillPages.Add(1)
+			d.rec.Add(trace.CtrRAFillPages, 1)
 		} else {
 			d.fillSkips.Add(1)
+			d.rec.Add(trace.CtrRAFillSkips, 1)
 		}
 		frontier.AdvanceTo(t.Clock().NowNS())
 	}
@@ -243,11 +257,14 @@ func (d *Daemon[T]) Flush(now int64, flush func(t T) (runs, pages int, err error
 
 func (d *Daemon[T]) flushLocked(now int64, flush func(t T) (runs, pages int, err error)) (completion int64, err error) {
 	d.wakeups.Add(1)
+	d.rec.Add(trace.CtrFlushWakeups, 1)
 	d.fl.Clock().AdvanceTo(now)
 	d.fl.Charge(d.fl.Model().FlusherWakeup)
 	runs, pages, err := flush(d.fl)
 	d.flushRuns.Add(int64(runs))
 	d.flushPages.Add(int64(pages))
+	d.rec.Add(trace.CtrFlushRuns, int64(runs))
+	d.rec.Add(trace.CtrFlushPages, int64(pages))
 	return d.fl.Clock().NowNS(), err
 }
 
@@ -257,7 +274,10 @@ func (d *Daemon[T]) FlusherNow() int64 { return d.fl.Clock().NowNS() }
 
 // NoteThrottle counts a writer throttled against the flusher
 // (balance_dirty_pages making the dirtier wait).
-func (d *Daemon[T]) NoteThrottle() { d.throttles.Add(1) }
+func (d *Daemon[T]) NoteThrottle() {
+	d.throttles.Add(1)
+	d.rec.Add(trace.CtrThrottles, 1)
+}
 
 // Quiesce stops the daemon after one final flusher pass: the remaining
 // dirty state drains on the flusher's clock, then both workers are

@@ -8,6 +8,7 @@ import (
 	"bento/internal/costmodel"
 	"bento/internal/fsapi"
 	"bento/internal/lru"
+	"bento/internal/trace"
 )
 
 // BufferCache is the kernel's block buffer cache: the sb_bread/brelse
@@ -126,18 +127,24 @@ func (bc *BufferCache) get(t *Task, blk int, read bool) (*BufferHead, error) {
 		return nb
 	})
 	if hit {
+		t.rec.Add(trace.CtrBufHits, 1)
 		if err := b.AwaitFill(); err != nil {
 			bc.cache.Release(b)
 			return nil, err
 		}
 		return b, nil
 	}
+	t.rec.Add(trace.CtrBufMisses, 1)
 
 	if read {
+		start := t.Clk.NowNS()
 		if err := bc.dev.Read(t.Clk, blk, b.data); err != nil {
 			bc.cache.Drop(int64(blk))
 			b.FailFill(err)
 			return nil, err
+		}
+		if r := t.rec; r != nil {
+			r.Span(t.Name, trace.CatDevice, "bread", start, t.Clk.NowNS())
 		}
 	}
 	b.CompleteFill()
@@ -164,7 +171,7 @@ func (bc *BufferCache) SyncDirty(t *Task) error {
 			last = done
 		}
 	}
-	t.Clk.AdvanceTo(last)
+	t.WaitIO("sync-dirty", last)
 	return nil
 }
 
@@ -185,7 +192,15 @@ func (bc *BufferCache) ReadDirect(t *Task, blk int, buf []byte) error {
 		return err
 	}
 	bc.directReads.Add(1)
-	return bc.dev.Read(t.Clk, blk, buf)
+	t.rec.Add(trace.CtrDirectReads, 1)
+	start := t.Clk.NowNS()
+	if err := bc.dev.Read(t.Clk, blk, buf); err != nil {
+		return err
+	}
+	if r := t.rec; r != nil {
+		r.Span(t.Name, trace.CatDevice, "direct-read", start, t.Clk.NowNS())
+	}
+	return nil
 }
 
 // WriteDirect submits a write of buf to block blk without going through
@@ -205,6 +220,7 @@ func (bc *BufferCache) WriteDirect(t *Task, blk int, buf []byte) (completion int
 		return 0, err
 	}
 	bc.directWrites.Add(1)
+	t.rec.Add(trace.CtrDirectWrites, 1)
 	return done, nil
 }
 
@@ -291,7 +307,7 @@ func (b *BufferHead) WriteSync(t *Task) error {
 	if err != nil {
 		return err
 	}
-	t.Clk.AdvanceTo(done)
+	t.WaitIO("bwrite", done)
 	return nil
 }
 

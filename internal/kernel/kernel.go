@@ -26,6 +26,7 @@ import (
 	"bento/internal/blockdev"
 	"bento/internal/costmodel"
 	"bento/internal/fsapi"
+	"bento/internal/trace"
 	"bento/internal/vclock"
 )
 
@@ -36,6 +37,7 @@ type Task struct {
 	Name string
 	Clk  *vclock.Clock
 	kern *Kernel
+	rec  *trace.Recorder // copied from the kernel at creation; nil = untraced
 }
 
 // Charge advances the task's clock by a modeled CPU cost. CPU time is
@@ -62,6 +64,41 @@ func (t *Task) Clock() *vclock.Clock { return t.Clk }
 
 // Model reports the cost model in effect.
 func (t *Task) Model() *costmodel.Model { return t.kern.model }
+
+// Rec reports the trace recorder this task records into; nil means the
+// task is untraced and all recording sites no-op. The task's Name is its
+// trace track.
+func (t *Task) Rec() *trace.Recorder { return t.rec }
+
+// WaitIO advances the task's clock to the completion time of previously
+// submitted device work, recording the stall — the interval the task
+// actually spends waiting, not the overlapped service time — as a
+// device-category span. It is the traced spelling of
+// t.Clk.AdvanceTo(completion) on batched-submit paths.
+func (t *Task) WaitIO(name string, completion int64) {
+	t.waitSpan(trace.CatDevice, name, completion)
+}
+
+// waitSpan records [now, until) under cat/name when until is in the
+// task's future, then advances the clock there. Free when untraced.
+func (t *Task) waitSpan(cat, name string, until int64) {
+	if r := t.rec; r != nil {
+		if now := t.Clk.NowNS(); until > now {
+			r.Span(t.Name, cat, name, now, until)
+		}
+	}
+	t.Clk.AdvanceTo(until)
+}
+
+// endSyscall closes a syscall-category span opened at start (captured by
+// chargeSyscall) and bumps the syscall counter. Deferred by every VFS
+// entry point; free when untraced.
+func (t *Task) endSyscall(name string, start int64) {
+	if r := t.rec; r != nil {
+		r.Span(t.Name, trace.CatSyscall, name, start, t.Clk.NowNS())
+		r.Add(trace.CtrSyscalls, 1)
+	}
+}
 
 // FileSystemType is a file-system module registered with the kernel, the
 // analogue of struct file_system_type.
@@ -136,6 +173,7 @@ type BatchWriter interface {
 type Kernel struct {
 	model *costmodel.Model
 	cpus  *vclock.Resource
+	rec   *trace.Recorder
 
 	mu      sync.Mutex
 	fstypes map[string]FileSystemType
@@ -162,15 +200,24 @@ func New(model *costmodel.Model) *Kernel {
 // Model reports the kernel's cost model.
 func (k *Kernel) Model() *costmodel.Model { return k.model }
 
+// SetRecorder attaches a trace recorder. Tasks copy the pointer at
+// creation, so it must be set before any task exists — the harness does
+// it right after New, before mkfs/mount. A nil recorder (the default)
+// keeps every recording site a no-op.
+func (k *Kernel) SetRecorder(r *trace.Recorder) { k.rec = r }
+
+// Recorder reports the attached trace recorder (nil when untraced).
+func (k *Kernel) Recorder() *trace.Recorder { return k.rec }
+
 // NewTask creates a task starting at virtual time zero.
 func (k *Kernel) NewTask(name string) *Task {
-	return &Task{Name: name, Clk: vclock.NewClock(), kern: k}
+	return &Task{Name: name, Clk: vclock.NewClock(), kern: k, rec: k.rec}
 }
 
 // NewTaskWithClock creates a task sharing an existing clock (used by
 // benchmark workers whose clocks belong to a vclock.Group).
 func (k *Kernel) NewTaskWithClock(name string, clk *vclock.Clock) *Task {
-	return &Task{Name: name, Clk: clk, kern: k}
+	return &Task{Name: name, Clk: clk, kern: k, rec: k.rec}
 }
 
 // Register adds a file-system type, like register_filesystem(9). It fails

@@ -13,6 +13,7 @@ import (
 	"bento/internal/fsapi"
 	"bento/internal/iodaemon"
 	"bento/internal/lru"
+	"bento/internal/trace"
 	"bento/internal/vclock"
 )
 
@@ -233,9 +234,16 @@ func (m *Mount) EnableIODaemon(cfg iodaemon.Config) *iodaemon.Daemon[*Task] {
 		m.k.NewTask("kworker-readahead:"+m.mountPoint),
 		m.k.NewTask("kworker-flush:"+m.mountPoint),
 		func(at int64) *Task {
-			return m.k.NewTaskWithClock("kworker-fill:"+m.mountPoint,
+			ft := m.k.NewTaskWithClock("kworker-fill:"+m.mountPoint,
 				vclock.NewClockAt(time.Duration(at)))
+			// The fill task's clock is rebased (SetNS) to each batch's
+			// submission time, so spans recorded on it would overlap on
+			// one track; read-ahead work is counted and marked with
+			// instants instead (see iodaemon.FillAhead), never spanned.
+			ft.rec = nil
+			return ft
 		})
+	m.iod.SetRecorder(m.k.rec)
 	return m.iod
 }
 
@@ -494,20 +502,26 @@ func (m *Mount) ResolveParent(t *Task, path string) (fsapi.Ino, string, error) {
 // on a miss. Caller holds vn.mu.
 func (vn *vnode) loadPage(t *Task, idx int64) (*page, error) {
 	if pg, ok := vn.pc.Peek(idx); ok {
+		t.rec.Add(trace.CtrPageHits, 1)
 		pg.lastUse.Store(vn.m.seq.Add(1))
 		if r := pg.readyAt; r != 0 {
 			// Read-ahead filled this page; its contents exist only once
 			// the asynchronous device read completes.
-			t.Clk.AdvanceTo(r)
+			t.waitSpan(trace.CatCache, "ra-wait", r)
 		}
 		return pg, nil
 	}
+	t.rec.Add(trace.CtrPageMisses, 1)
 	pg := getPage() // zeroed: beyond-EOF pages must read as zeros
 	pg.lastUse.Store(vn.m.seq.Add(1))
 	if idx*fsapi.PageSize < vn.size {
+		fillStart := t.Clk.NowNS()
 		if err := vn.m.fs.ReadPage(t, vn.ino, idx, pg.data); err != nil {
 			putPage(pg) // never published; safe to recycle
 			return nil, err
+		}
+		if r := t.rec; r != nil {
+			r.Span(t.Name, trace.CatCache, "page-fill", fillStart, t.Clk.NowNS())
 		}
 	}
 	vn.pc.Add(idx, pg)
@@ -659,6 +673,7 @@ func (m *Mount) forEachVnodeByIno(fn func(*vnode) error) error {
 // It runs on the flusher's task, never an application's. Called with no
 // locks held.
 func (m *Mount) bdiFlush(ft *Task) (calls, pages int, err error) {
+	start := ft.Clk.NowNS()
 	err = m.forEachVnodeByIno(func(vn *vnode) error {
 		vn.mu.Lock()
 		c, p, ferr := vn.writebackLocked(ft)
@@ -667,6 +682,9 @@ func (m *Mount) bdiFlush(ft *Task) (calls, pages int, err error) {
 		pages += p
 		return ferr
 	})
+	if r := ft.rec; r != nil && pages > 0 {
+		r.SpanAB(ft.Name, trace.CatDaemon, "flush-pass", start, ft.Clk.NowNS(), int64(calls), int64(pages))
+	}
 	return calls, pages, err
 }
 
@@ -695,10 +713,10 @@ func (m *Mount) balanceDirty(t *Task) error {
 	switch {
 	case over:
 		d.NoteThrottle()
-		t.Clk.AdvanceTo(done)
+		t.waitSpan(trace.CatDaemon, "throttle", done)
 	case prev > t.Clk.NowNS():
 		d.NoteThrottle()
-		t.Clk.AdvanceTo(prev)
+		t.waitSpan(trace.CatDaemon, "throttle", prev)
 	}
 	return nil
 }

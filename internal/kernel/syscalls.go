@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"bento/internal/fsapi"
+	"bento/internal/trace"
 )
 
 // File is an open file description (struct file): a position, flags, and a
@@ -21,16 +22,19 @@ type File struct {
 }
 
 // chargeSyscall bills the fixed cost of entering and leaving the kernel
-// plus one VFS dispatch.
-func (m *Mount) chargeSyscall(t *Task) {
+// plus one VFS dispatch, and returns the virtual time at entry so the
+// caller can close a syscall span over the whole operation.
+func (m *Mount) chargeSyscall(t *Task) int64 {
+	start := t.Clk.NowNS()
 	t.Charge(2*m.model.SyscallCrossing + m.model.VFSDispatch)
+	return start
 }
 
 // Open opens path. With fsapi.OCreate the file is created if missing;
 // with fsapi.OExcl creation fails if it exists; with fsapi.OTrunc the file
 // is truncated to zero length.
 func (m *Mount) Open(t *Task, path string, flags int) (*File, error) {
-	m.chargeSyscall(t)
+	defer t.endSyscall("open", m.chargeSyscall(t))
 
 	st, err := m.Resolve(t, path)
 	switch {
@@ -78,7 +82,7 @@ const OAccWrite = fsapi.OWronly | fsapi.ORdwr | fsapi.OAppend | fsapi.OTrunc
 
 // Close releases the open file.
 func (m *Mount) Close(t *Task, f *File) error {
-	m.chargeSyscall(t)
+	defer t.endSyscall("close", m.chargeSyscall(t))
 	f.mu.Lock()
 	if f.closed {
 		f.mu.Unlock()
@@ -106,7 +110,7 @@ func (m *Mount) Close(t *Task, f *File) error {
 // Stat returns the attributes of path. Sizes reflect in-core state (dirty
 // pages included), matching Linux semantics.
 func (m *Mount) Stat(t *Task, path string) (fsapi.Stat, error) {
-	m.chargeSyscall(t)
+	defer t.endSyscall("stat", m.chargeSyscall(t))
 	st, err := m.Resolve(t, path)
 	if err != nil {
 		return fsapi.Stat{}, err
@@ -121,7 +125,7 @@ func (m *Mount) Stat(t *Task, path string) (fsapi.Stat, error) {
 
 // FStat returns the attributes of an open file.
 func (f *File) FStat(t *Task) (fsapi.Stat, error) {
-	f.m.chargeSyscall(t)
+	defer t.endSyscall("fstat", f.m.chargeSyscall(t))
 	st, err := f.m.fs.GetAttr(t, f.vn.ino)
 	if err != nil {
 		return fsapi.Stat{}, err
@@ -161,7 +165,7 @@ func (f *File) Read(t *Task, buf []byte) (int, error) {
 // PRead reads len(buf) bytes at offset off through the page cache.
 func (f *File) PRead(t *Task, buf []byte, off int64) (int, error) {
 	m := f.m
-	m.chargeSyscall(t)
+	defer t.endSyscall("pread", m.chargeSyscall(t))
 	if f.vn.ftype == fsapi.TypeDir {
 		return 0, fsapi.ErrIsDir
 	}
@@ -193,12 +197,13 @@ func (f *File) PRead(t *Task, buf []byte, off int64) (int, error) {
 		t.Charge(m.model.PageCacheLookup)
 		pg, ok := vn.pc.Peek(idx)
 		if ok {
+			t.rec.Add(trace.CtrPageHits, 1)
 			pg.lastUse.Store(vn.m.seq.Add(1))
 			if r := pg.readyAt; r != 0 {
 				// The page is here courtesy of read-ahead; a reader
 				// that catches up with the pipeline waits for its
 				// asynchronous device read to complete.
-				t.Clk.AdvanceTo(r)
+				t.waitSpan(trace.CatCache, "ra-wait", r)
 			}
 		} else {
 			vn.mu.RUnlock()
@@ -258,7 +263,7 @@ func (f *File) Write(t *Task, data []byte) (int, error) {
 // performs write-back of this file before returning (balance_dirty_pages).
 func (f *File) PWrite(t *Task, data []byte, off int64) (int, error) {
 	m := f.m
-	m.chargeSyscall(t)
+	defer t.endSyscall("pwrite", m.chargeSyscall(t))
 	if f.vn.ftype == fsapi.TypeDir {
 		return 0, fsapi.ErrIsDir
 	}
@@ -325,6 +330,7 @@ func (f *File) PWrite(t *Task, data []byte, off int64) (int, error) {
 // because the caller is about to overwrite all of it. Caller holds vn.mu.
 func (vn *vnode) pageForOverwrite(idx int64) *page {
 	if pg, ok := vn.pc.Peek(idx); ok {
+		vn.m.k.rec.Add(trace.CtrPageHits, 1)
 		pg.lastUse.Store(vn.m.seq.Add(1))
 		// A full overwrite discards whatever a pending read-ahead fill
 		// would have delivered, so later readers owe no wait for it;
@@ -332,6 +338,7 @@ func (vn *vnode) pageForOverwrite(idx int64) *page {
 		pg.readyAt = 0
 		return pg
 	}
+	vn.m.k.rec.Add(trace.CtrPageMisses, 1)
 	pg := getPage() // zeroed, so a partial final chunk keeps zero tail
 	pg.lastUse.Store(vn.m.seq.Add(1))
 	vn.pc.Add(idx, pg)
@@ -347,7 +354,7 @@ func (vn *vnode) pageForOverwrite(idx int64) *page {
 
 // Seek sets the file position (whence semantics: 0=set, 1=cur, 2=end).
 func (f *File) Seek(t *Task, off int64, whence int) (int64, error) {
-	f.m.chargeSyscall(t)
+	defer t.endSyscall("seek", f.m.chargeSyscall(t))
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	var base int64
@@ -374,7 +381,7 @@ func (f *File) Seek(t *Task, off int64, whence int) (int64, error) {
 // FSync writes the file's dirty pages through the file system and asks the
 // file system to make the file durable.
 func (f *File) FSync(t *Task) error {
-	f.m.chargeSyscall(t)
+	defer t.endSyscall("fsync", f.m.chargeSyscall(t))
 	if err := f.vn.writeback(t); err != nil {
 		return err
 	}
@@ -383,7 +390,7 @@ func (f *File) FSync(t *Task) error {
 
 // FDataSync is FSync but allows the file system to skip non-size metadata.
 func (f *File) FDataSync(t *Task) error {
-	f.m.chargeSyscall(t)
+	defer t.endSyscall("fdatasync", f.m.chargeSyscall(t))
 	if err := f.vn.writeback(t); err != nil {
 		return err
 	}
@@ -392,7 +399,7 @@ func (f *File) FDataSync(t *Task) error {
 
 // Truncate changes the file's size.
 func (f *File) Truncate(t *Task, size int64) error {
-	f.m.chargeSyscall(t)
+	defer t.endSyscall("truncate", f.m.chargeSyscall(t))
 	f.vn.mu.Lock()
 	defer f.vn.mu.Unlock()
 	return f.vn.truncateLocked(t, size)
@@ -438,7 +445,7 @@ func (vn *vnode) truncateLocked(t *Task, size int64) error {
 
 // Mkdir creates a directory at path.
 func (m *Mount) Mkdir(t *Task, path string) error {
-	m.chargeSyscall(t)
+	defer t.endSyscall("mkdir", m.chargeSyscall(t))
 	dir, name, err := m.ResolveParent(t, path)
 	if err != nil {
 		return err
@@ -453,7 +460,7 @@ func (m *Mount) Mkdir(t *Task, path string) error {
 
 // Unlink removes the file at path.
 func (m *Mount) Unlink(t *Task, path string) error {
-	m.chargeSyscall(t)
+	defer t.endSyscall("unlink", m.chargeSyscall(t))
 	dir, name, err := m.ResolveParent(t, path)
 	if err != nil {
 		return err
@@ -492,7 +499,7 @@ func (m *Mount) noteUnlinked(t *Task, ino fsapi.Ino) {
 
 // Rmdir removes the empty directory at path.
 func (m *Mount) Rmdir(t *Task, path string) error {
-	m.chargeSyscall(t)
+	defer t.endSyscall("rmdir", m.chargeSyscall(t))
 	dir, name, err := m.ResolveParent(t, path)
 	if err != nil {
 		return err
@@ -506,7 +513,7 @@ func (m *Mount) Rmdir(t *Task, path string) error {
 
 // Rename moves oldPath to newPath (replacing a compatible target).
 func (m *Mount) Rename(t *Task, oldPath, newPath string) error {
-	m.chargeSyscall(t)
+	defer t.endSyscall("rename", m.chargeSyscall(t))
 	odir, oname, err := m.ResolveParent(t, oldPath)
 	if err != nil {
 		return err
@@ -531,7 +538,7 @@ func (m *Mount) Rename(t *Task, oldPath, newPath string) error {
 
 // Link creates a hard link newPath referring to oldPath's inode.
 func (m *Mount) Link(t *Task, oldPath, newPath string) error {
-	m.chargeSyscall(t)
+	defer t.endSyscall("link", m.chargeSyscall(t))
 	st, err := m.Resolve(t, oldPath)
 	if err != nil {
 		return err
@@ -552,7 +559,7 @@ func (m *Mount) Link(t *Task, oldPath, newPath string) error {
 
 // ReadDir lists the directory at path.
 func (m *Mount) ReadDir(t *Task, path string) ([]fsapi.DirEntry, error) {
-	m.chargeSyscall(t)
+	defer t.endSyscall("readdir", m.chargeSyscall(t))
 	st, err := m.Resolve(t, path)
 	if err != nil {
 		return nil, err
@@ -565,7 +572,7 @@ func (m *Mount) ReadDir(t *Task, path string) ([]fsapi.DirEntry, error) {
 
 // Sync writes back all dirty pages and makes the file system durable.
 func (m *Mount) Sync(t *Task) error {
-	m.chargeSyscall(t)
+	defer t.endSyscall("sync", m.chargeSyscall(t))
 	if err := m.writebackAll(t); err != nil {
 		return err
 	}
@@ -574,7 +581,7 @@ func (m *Mount) Sync(t *Task) error {
 
 // StatFS reports file-system usage.
 func (m *Mount) StatFS(t *Task) (fsapi.FSStat, error) {
-	m.chargeSyscall(t)
+	defer t.endSyscall("statfs", m.chargeSyscall(t))
 	return m.fs.StatFS(t)
 }
 

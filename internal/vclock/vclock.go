@@ -198,6 +198,21 @@ func (r *Resource) AcquireSerial(now, service int64) (completion int64) {
 	return completion
 }
 
+// InUse reports how many channels are still busy at virtual time now —
+// the instantaneous queue occupancy a monitor would observe. Tracing
+// samples it for device queue-depth counter tracks.
+func (r *Resource) InUse(now int64) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, f := range r.free {
+		if f > now {
+			n++
+		}
+	}
+	return n
+}
+
 // Stats returns a snapshot of accumulated statistics.
 func (r *Resource) Stats() ResourceStats {
 	r.mu.Lock()

@@ -243,7 +243,7 @@ func (fs *FS) SetAttr(t *kernel.Task, ino fsapi.Ino, size int64) error {
 				if err != nil {
 					return err
 				}
-				t.Clk.AdvanceTo(done)
+				t.WaitIO("direct-write", done)
 			} else if blk != 0 {
 				bh, err := fs.sb.BRead(t, int(blk))
 				if err != nil {

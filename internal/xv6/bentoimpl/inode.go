@@ -486,7 +486,7 @@ func (ip *Inode) writei(t *kernel.Task, off int64, buf []byte) (int, error) {
 	var batchEnd int64 // latest completion of batched direct submits
 	wait := func() {
 		if batchEnd != 0 {
-			t.Clk.AdvanceTo(batchEnd)
+			t.WaitIO("write-batch", batchEnd)
 		}
 	}
 	var done int64

@@ -18,6 +18,7 @@ import (
 	"bento/internal/bentoks"
 	"bento/internal/fsapi"
 	"bento/internal/kernel"
+	"bento/internal/trace"
 	"bento/internal/xv6/layout"
 )
 
@@ -123,7 +124,7 @@ func (l *Log) Recover(t *kernel.Task) error {
 				return err
 			}
 		}
-		t.Clk.AdvanceTo(last)
+		t.WaitIO("install", last)
 		if l.policy == PolicyFlush {
 			if err := sb.Flush(t); err != nil {
 				return err
@@ -174,6 +175,10 @@ func (l *Log) BeginOp(t *kernel.Task, nblocks int) Op {
 	l.reserved += uint32(nblocks)
 	// A thread that slept through a commit resumes no earlier than the
 	// commit's completion in virtual time.
+	if r := t.Rec(); r != nil && l.commitEnd > t.Clk.NowNS() {
+		r.Span(t.Name, trace.CatJournal, "begin-stall", t.Clk.NowNS(), l.commitEnd)
+		r.Add(trace.CtrJournalStalls, 1)
+	}
 	t.Clk.AdvanceTo(l.commitEnd)
 	l.mu.Unlock()
 	return Op{n: uint32(nblocks)}
@@ -193,6 +198,7 @@ func (l *Log) Write(t *kernel.Task, bh bentoks.Buffer) error {
 	}
 	if _, dup := l.inLog[blk]; dup {
 		l.absorbed++ // absorption: block already in this transaction
+		t.Rec().Add(trace.CtrJournalAbsorbed, 1)
 		return nil
 	}
 	if uint32(len(l.blocks)) >= l.size {
@@ -221,7 +227,13 @@ func (l *Log) EndOp(t *kernel.Task, op Op) error {
 
 	var err error
 	if len(toCommit) > 0 {
+		commitStart := t.Clk.NowNS()
 		err = l.commit(t, toCommit)
+		if r := t.Rec(); r != nil {
+			r.SpanAB(t.Name, trace.CatJournal, "commit", commitStart, t.Clk.NowNS(), int64(len(toCommit)), 0)
+			r.Add(trace.CtrJournalCommits, 1)
+			r.Add(trace.CtrJournalBlocks, int64(len(toCommit)))
+		}
 	}
 
 	l.mu.Lock()
@@ -325,7 +337,7 @@ func (l *Log) commit(t *kernel.Task, blocks []uint32) error {
 			return err
 		}
 	}
-	t.Clk.AdvanceTo(last)
+	t.WaitIO("install", last)
 	if l.policy == PolicyFlush {
 		if err := sb.Flush(t); err != nil {
 			return err

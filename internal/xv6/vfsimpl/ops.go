@@ -164,7 +164,7 @@ func (fs *FS) SetSize(t *kernel.Task, ino fsapi.Ino, size int64) error {
 				if err != nil {
 					return err
 				}
-				t.Clk.AdvanceTo(done)
+				t.WaitIO("direct-write", done)
 			} else if blk != 0 {
 				bh, err := fs.bc.Get(t, int(blk))
 				if err != nil {

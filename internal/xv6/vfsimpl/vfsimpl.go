@@ -19,6 +19,7 @@ import (
 	"bento/internal/blockdev"
 	"bento/internal/fsapi"
 	"bento/internal/kernel"
+	"bento/internal/trace"
 	"bento/internal/xv6/layout"
 )
 
@@ -197,7 +198,7 @@ func (fs *FS) recover(t *kernel.Task) error {
 			_ = src.Release()
 			_ = dst.Release()
 		}
-		t.Clk.AdvanceTo(last)
+		t.WaitIO("install", last)
 		if fs.cfg.FlushCommits {
 			if err := fs.dev.Flush(t.Clk); err != nil {
 				return err
@@ -225,6 +226,10 @@ func (fs *FS) beginOp(t *kernel.Task, nblocks uint32) {
 	}
 	fs.outstanding++
 	fs.reserved += nblocks
+	if r := t.Rec(); r != nil && fs.commitEnd > t.Clk.NowNS() {
+		r.Span(t.Name, trace.CatJournal, "begin-stall", t.Clk.NowNS(), fs.commitEnd)
+		r.Add(trace.CtrJournalStalls, 1)
+	}
 	t.Clk.AdvanceTo(fs.commitEnd)
 	fs.logMu.Unlock()
 }
@@ -238,6 +243,7 @@ func (fs *FS) logWrite(t *kernel.Task, bh *kernel.BufferHead) error {
 		return fmt.Errorf("xv6vfs: log write outside transaction: %w", fsapi.ErrInvalid)
 	}
 	if fs.inLog[blk] {
+		t.Rec().Add(trace.CtrJournalAbsorbed, 1)
 		return nil
 	}
 	if uint32(len(fs.logBlocks)) >= layout.LogSize {
@@ -263,7 +269,13 @@ func (fs *FS) endOp(t *kernel.Task, nblocks uint32) error {
 
 	var err error
 	if len(blocks) > 0 {
+		commitStart := t.Clk.NowNS()
 		err = fs.commit(t, blocks)
+		if r := t.Rec(); r != nil {
+			r.SpanAB(t.Name, trace.CatJournal, "commit", commitStart, t.Clk.NowNS(), int64(len(blocks)), 0)
+			r.Add(trace.CtrJournalCommits, 1)
+			r.Add(trace.CtrJournalBlocks, int64(len(blocks)))
+		}
 	}
 
 	fs.logMu.Lock()
@@ -333,7 +345,7 @@ func (fs *FS) commit(t *kernel.Task, blocks []uint32) error {
 		}
 		_ = src.Release()
 	}
-	t.Clk.AdvanceTo(last)
+	t.WaitIO("install", last)
 	if fs.cfg.FlushCommits {
 		if err := fs.dev.Flush(t.Clk); err != nil {
 			return err
@@ -790,7 +802,7 @@ func (fs *FS) writei(t *kernel.Task, ip *inode, off int64, buf []byte) (int, err
 	var batchEnd int64 // latest completion of batched direct submits
 	wait := func() {
 		if batchEnd != 0 {
-			t.Clk.AdvanceTo(batchEnd)
+			t.WaitIO("write-batch", batchEnd)
 		}
 	}
 	var done int64
