@@ -4,6 +4,7 @@
 //
 //	bentobench                  # run every experiment at default scale
 //	bentobench -exp fig4        # one experiment
+//	bentobench -upgrade         # just the live-upgrade availability scenario
 //	bentobench -quick           # reduced scale (seconds, not minutes)
 //	bentobench -dur 200ms       # override the virtual measurement window
 //	bentobench -json            # machine-readable cells on stdout (tables go to stderr)
@@ -36,6 +37,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id: "+strings.Join(harness.AllExperiments, ", ")+", or all")
+	upgrade := flag.Bool("upgrade", false, "run only the live-upgrade availability scenario (shorthand for -exp upgrade)")
 	quick := flag.Bool("quick", false, "reduced scale for fast runs")
 	dur := flag.Duration("dur", 0, "virtual measurement window per workload (0 = default)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable results (one JSON array) on stdout; tables move to stderr")
@@ -84,6 +86,9 @@ func main() {
 	ids := harness.AllExperiments
 	if *exp != "all" {
 		ids = []string{*exp}
+	}
+	if *upgrade {
+		ids = []string{harness.ExpUpgrade}
 	}
 	start := time.Now()
 	results, err := harness.RunMatrix(ids, o)

@@ -1,5 +1,23 @@
 // fsck checks an image produced by cmd/mkfs (or any tool using the same
-// sparse format) for xv6 metadata consistency.
+// sparse "BIMG" format) for xv6 metadata consistency.
+//
+// Usage:
+//
+//	fsck [disk.img]    # default: disk.img
+//
+// The image is loaded into a simulated device and handed to
+// layout.Fsck, the structural checker: superblock sanity, inode type
+// and link-count validity, directory tree connectivity, block
+// ownership (no double allocation, no use of free blocks), bitmap
+// agreement, and an empty — i.e. fully recovered — journal. A summary
+// line always prints; each inconsistency prints as an ERROR and the
+// exit status is nonzero unless the image is clean.
+//
+// fsck assumes the log has already been recovered (mounting replays
+// it); an image written mid-commit shows up as a non-empty-log error
+// here, not silent corruption. The same checker is the structural leg
+// of the crash-point fuzzer (internal/crashtort), which runs it after
+// every simulated power cut — see docs/upgrade-and-crash.md.
 package main
 
 import (

@@ -1,0 +1,119 @@
+// mdcheck verifies the repository's internal markdown links: every
+// relative link target in every .md file must exist on disk. External
+// links (http, https, mailto) and pure fragments are skipped — CI
+// should not fail on someone else's outage — but a fragment on a
+// relative link still requires the file itself to exist.
+//
+// Usage:
+//
+//	mdcheck [dir]    # default: current directory
+//
+// Exits nonzero listing every broken link as file:line: target.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline markdown links and images: [text](target).
+var linkRE = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	broken, nfiles, err := check(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mdcheck: %v\n", err)
+		os.Exit(1)
+	}
+	for _, b := range broken {
+		fmt.Fprintln(os.Stderr, b)
+	}
+	if len(broken) > 0 {
+		fmt.Fprintf(os.Stderr, "mdcheck: %d broken link(s) across %d markdown file(s)\n", len(broken), nfiles)
+		os.Exit(1)
+	}
+	fmt.Printf("mdcheck: %d markdown file(s), all internal links resolve\n", nfiles)
+}
+
+// check walks root for .md files and returns every broken internal
+// link as "file:line: target", plus the number of files scanned.
+func check(root string) (broken []string, nfiles int, err error) {
+	err = filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" || d.Name() == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".md") {
+			return nil
+		}
+		nfiles++
+		bs, err := checkFile(p)
+		if err != nil {
+			return err
+		}
+		broken = append(broken, bs...)
+		return nil
+	})
+	return broken, nfiles, err
+}
+
+func checkFile(p string) ([]string, error) {
+	f, err := os.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var broken []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	inFence := false
+	for line := 1; sc.Scan(); line++ {
+		text := sc.Text()
+		// Links inside fenced code blocks are examples, not navigation.
+		if strings.HasPrefix(strings.TrimSpace(text), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(text, -1) {
+			target := m[1]
+			if skip(target) {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(p), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				broken = append(broken, fmt.Sprintf("%s:%d: %s", p, line, m[1]))
+			}
+		}
+	}
+	return broken, sc.Err()
+}
+
+func skip(target string) bool {
+	for _, prefix := range []string{"http://", "https://", "mailto:", "#"} {
+		if strings.HasPrefix(target, prefix) {
+			return true
+		}
+	}
+	return false
+}

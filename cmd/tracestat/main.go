@@ -14,7 +14,7 @@
 //
 //   - The breakdown table: per cell, the exclusive virtual time spent in
 //     each span category — syscall / cache / journal / device / daemon /
-//     fuse / app — as a percentage of the cell's total virtual span
+//     fuse / upgrade / app — as a percentage of the cell's total virtual span
 //     time. "app" is the benchmark worker's own time (the worker span
 //     minus everything nested inside it). Exclusive time is computed by
 //     a per-track stack sweep over the properly-nested spans, so the
@@ -124,7 +124,7 @@ func expandArgs(args []string) ([]string, error) {
 
 // breakdownCats is the column order of the report. "worker" renders as
 // "app": its exclusive time is what the benchmark loop itself spent.
-var breakdownCats = []string{"syscall", "cache", "journal", "device", "daemon", "fuse", "worker"}
+var breakdownCats = []string{"syscall", "cache", "journal", "device", "daemon", "fuse", "upgrade", "worker"}
 
 func catLabel(c string) string {
 	if c == "worker" {

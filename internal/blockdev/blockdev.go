@@ -8,10 +8,19 @@
 // slow — the behaviour of consumer NVMe parts without power-loss
 // protection, and the mechanism behind the paper's FUSE fsync penalty.
 //
-// Crash(keepFraction, seed) reverts the device to its durable state plus a
-// pseudo-random subset of unflushed writes, emulating power loss with write
-// reordering; the crash-recovery tests for the xv6 log and the ext4 journal
-// are built on it.
+// Crash semantics. What power loss destroys is exactly the volatile
+// write cache: every write since the last FLUSH. Crash(keepFraction,
+// seed) reverts the device to its durable state (persist, as of the last
+// FLUSH) plus a seeded pseudo-random subset of the unflushed writes —
+// keepFraction 0 is the adversarial cache (all unflushed writes gone), 1
+// the friendly one (all retained), and intermediate values model
+// arbitrary retention and reordering, since the surviving subset need
+// not be a prefix of write order. The crash-recovery tests for the xv6
+// log and the ext4 journal are built on it. ArmPowerCut composes with
+// Crash to make the cut point itself systematic: it trips after a chosen
+// count of write-class commands, after which every command fails with
+// ErrPowerLoss — the deterministic enumeration the crash-point fuzzer
+// (internal/crashtort, cmd/crashtort) sweeps.
 //
 // Determinism: queue bookings (Read/Submit/Flush) mutate the shared
 // vclock.Resource, so their completion times depend on booking order.
@@ -44,6 +53,10 @@ var (
 	ErrIO = errors.New("blockdev: I/O error")
 	// ErrBadSize reports a buffer whose length is not the block size.
 	ErrBadSize = errors.New("blockdev: buffer size != block size")
+	// ErrPowerLoss reports a command issued after an armed power cut
+	// tripped: the device is off, and every command fails until
+	// DisarmPowerCut restores power.
+	ErrPowerLoss = errors.New("blockdev: power lost")
 )
 
 // Config describes a device to create.
@@ -96,6 +109,14 @@ type Device struct {
 	readErr  map[int]error
 	writeErr map[int]error
 	failAll  error
+
+	// power-cut scheduling (see ArmPowerCut): when armed, cutRemaining
+	// counts down on each completed write-class command (Submit/Write or
+	// Flush); at zero the power is out and every command fails with
+	// ErrPowerLoss.
+	cutArmed     bool
+	cutRemaining int64
+	powerOut     bool
 }
 
 // New creates a device per cfg.
@@ -217,6 +238,7 @@ func (d *Device) Submit(clk *vclock.Clock, blk int, buf []byte) (completion int6
 	completion = d.res.Acquire(clk.NowNS(), int64(d.model.DevWrite(d.blockSize)))
 	d.rec.Add(trace.CtrDevWrites, 1)
 	d.sampleLocked(completion)
+	d.countWriteLocked()
 	d.mu.Unlock()
 	return completion, nil
 }
@@ -238,6 +260,10 @@ func (d *Device) Write(clk *vclock.Clock, blk int, buf []byte) error {
 // submitted writes are durable. It advances clk to completion.
 func (d *Device) Flush(clk *vclock.Clock) error {
 	d.mu.Lock()
+	if d.powerOut {
+		d.mu.Unlock()
+		return ErrPowerLoss
+	}
 	if d.failAll != nil {
 		err := d.failAll
 		d.mu.Unlock()
@@ -253,6 +279,7 @@ func (d *Device) Flush(clk *vclock.Clock) error {
 	done := d.res.AcquireSerial(clk.NowNS(), int64(d.model.DevFlush(dirtyBytes)))
 	d.rec.Add(trace.CtrDevFlushes, 1)
 	d.sampleLocked(done)
+	d.countWriteLocked()
 	d.mu.Unlock()
 	clk.AdvanceTo(done)
 	return nil
@@ -317,6 +344,64 @@ func (d *Device) Crash(keepFraction float64, seed int64) {
 	d.res.Reset()
 }
 
+// countWriteLocked advances the armed power-cut countdown by one
+// write-class command (Submit/Write or Flush). Caller holds d.mu.
+func (d *Device) countWriteLocked() {
+	if !d.cutArmed || d.powerOut {
+		return
+	}
+	d.cutRemaining--
+	if d.cutRemaining <= 0 {
+		d.powerOut = true
+	}
+}
+
+// ArmPowerCut schedules a power loss after the next n write-class
+// commands (Submit/Write and Flush; reads don't change durable state and
+// don't count). The n-th such command is the last to succeed; every
+// command after it — reads included — fails with ErrPowerLoss until
+// DisarmPowerCut. n <= 0 cuts power immediately.
+//
+// Counting commands rather than time makes crash points enumerable and
+// replayable: under the deterministic schedulers, command k of a given
+// workload is the same command, with the same volatile write-cache
+// contents, on every run. The crash-point fuzzer (internal/crashtort)
+// sweeps k across a workload's whole command stream.
+func (d *Device) ArmPowerCut(n int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.cutArmed = true
+	d.cutRemaining = n
+	d.powerOut = n <= 0
+}
+
+// DisarmPowerCut restores power. It does not touch device contents:
+// callers model the loss of the volatile write cache with Crash before
+// remounting (power-on after a real power loss does both; keeping them
+// separate lets tests choose the cache-retention fraction).
+func (d *Device) DisarmPowerCut() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.cutArmed = false
+	d.cutRemaining = 0
+	d.powerOut = false
+}
+
+// PowerOut reports whether an armed power cut has tripped.
+func (d *Device) PowerOut() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.powerOut
+}
+
+// WriteCmds reports the number of write-class commands (writes + flushes)
+// completed so far — the coordinate system ArmPowerCut counts in.
+func (d *Device) WriteCmds() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats.Writes + d.stats.Flushes
+}
+
 // InjectReadError makes reads of blk fail with ErrIO until cleared.
 func (d *Device) InjectReadError(blk int) {
 	d.mu.Lock()
@@ -353,6 +438,9 @@ func (d *Device) ClearFaults() {
 
 // checkLocked validates blk and applies injected faults. Caller holds d.mu.
 func (d *Device) checkLocked(blk int, errs map[int]error) error {
+	if d.powerOut {
+		return ErrPowerLoss
+	}
 	if d.failAll != nil {
 		return d.failAll
 	}

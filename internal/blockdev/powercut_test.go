@@ -1,0 +1,120 @@
+package blockdev
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"bento/internal/vclock"
+)
+
+// TestArmPowerCutTripsAfterN checks the crash-point coordinate system:
+// exactly n write-class commands succeed after arming, and from then on
+// every command — reads included — fails with ErrPowerLoss until the
+// power is restored.
+func TestArmPowerCutTripsAfterN(t *testing.T) {
+	d := testDev(t, 8)
+	clk := vclock.NewClock()
+	d.ArmPowerCut(2)
+	if err := d.Write(clk, 0, block(d, 1)); err != nil {
+		t.Fatalf("write 1 of 2: %v", err)
+	}
+	if d.PowerOut() {
+		t.Fatal("power out after 1 of 2 commands")
+	}
+	if err := d.Flush(clk); err != nil {
+		t.Fatalf("flush (2 of 2): %v", err)
+	}
+	if !d.PowerOut() {
+		t.Fatal("power still on after the 2nd write-class command")
+	}
+	if err := d.Write(clk, 1, block(d, 2)); !errors.Is(err, ErrPowerLoss) {
+		t.Fatalf("write after cut: %v, want ErrPowerLoss", err)
+	}
+	if err := d.Read(clk, 0, make([]byte, d.BlockSize())); !errors.Is(err, ErrPowerLoss) {
+		t.Fatalf("read after cut: %v, want ErrPowerLoss", err)
+	}
+	if err := d.Flush(clk); !errors.Is(err, ErrPowerLoss) {
+		t.Fatalf("flush after cut: %v, want ErrPowerLoss", err)
+	}
+
+	// Restoring power does not touch contents: the flushed write is still
+	// there (callers model cache loss with Crash before restoring).
+	d.DisarmPowerCut()
+	if d.PowerOut() {
+		t.Fatal("power still out after DisarmPowerCut")
+	}
+	got := make([]byte, d.BlockSize())
+	if err := d.Read(clk, 0, got); err != nil {
+		t.Fatalf("read after restore: %v", err)
+	}
+	if !bytes.Equal(got, block(d, 1)) {
+		t.Fatal("flushed block lost across power restore")
+	}
+}
+
+// TestArmPowerCutImmediate checks n<=0: the power is out before any
+// command runs.
+func TestArmPowerCutImmediate(t *testing.T) {
+	d := testDev(t, 4)
+	clk := vclock.NewClock()
+	d.ArmPowerCut(0)
+	if !d.PowerOut() {
+		t.Fatal("ArmPowerCut(0) did not cut immediately")
+	}
+	if err := d.Write(clk, 0, block(d, 1)); !errors.Is(err, ErrPowerLoss) {
+		t.Fatalf("write: %v, want ErrPowerLoss", err)
+	}
+}
+
+// TestWriteCmdsCountsWriteClass checks the counter the fuzzer keys on:
+// writes and flushes count, reads do not.
+func TestWriteCmdsCountsWriteClass(t *testing.T) {
+	d := testDev(t, 8)
+	clk := vclock.NewClock()
+	if d.WriteCmds() != 0 {
+		t.Fatalf("fresh device WriteCmds = %d", d.WriteCmds())
+	}
+	if err := d.Write(clk, 0, block(d, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Read(clk, 0, make([]byte, d.BlockSize())); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Flush(clk); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.WriteCmds(); got != 2 {
+		t.Fatalf("WriteCmds = %d after 1 write + 1 read + 1 flush, want 2", got)
+	}
+}
+
+// TestPowerCutComposesWithCrash is the fuzzer's full sequence: cut the
+// power mid-stream, settle the volatile cache adversarially, restore,
+// and observe exactly the pre-cut durable state.
+func TestPowerCutComposesWithCrash(t *testing.T) {
+	d := testDev(t, 8)
+	clk := vclock.NewClock()
+	if err := d.Write(clk, 0, block(d, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Flush(clk); err != nil {
+		t.Fatal(err)
+	}
+	d.ArmPowerCut(1)
+	if err := d.Write(clk, 1, block(d, 2)); err != nil {
+		t.Fatal(err) // the tripping command itself succeeds
+	}
+	if err := d.Write(clk, 2, block(d, 3)); !errors.Is(err, ErrPowerLoss) {
+		t.Fatalf("post-cut write: %v, want ErrPowerLoss", err)
+	}
+	d.Crash(0, 42) // adversarial: drop the whole volatile cache
+	d.DisarmPowerCut()
+	got := make([]byte, d.BlockSize())
+	if err := d.Read(clk, 0, got); err != nil || !bytes.Equal(got, block(d, 1)) {
+		t.Fatalf("flushed block: %v (match=%v), want survival", err, bytes.Equal(got, block(d, 1)))
+	}
+	if err := d.Read(clk, 1, got); err != nil || !bytes.Equal(got, make([]byte, d.BlockSize())) {
+		t.Fatalf("unflushed block survived an adversarial crash")
+	}
+}

@@ -13,8 +13,28 @@
 // BentoFS also implements the batched ->writepages write-back path it
 // inherits from the FUSE kernel module, which the paper credits for the
 // Bento xv6 beating the C baseline on large sequential writes, and the
-// §4.8 online-upgrade protocol (quiesce, transfer state, swap) which the
-// paper sketches as future work.
+// §4.8 online-upgrade protocol, which runs in three phases under the
+// shim's quiesce lock:
+//
+//   - quiesce: new operations are held at the shim while in-flight ones
+//     drain; the old instance makes everything that must survive durable
+//     (PrepareTransfer, or a full SyncFS+Destroy when the instance has no
+//     transfer support) and serializes its in-memory state.
+//   - transfer: the replacement instance initializes against the SAME
+//     SuperBlock capability (the buffer cache and its dirty state are
+//     kernel property and survive the swap), then restores the
+//     serialized state. The transfer is charged one memory copy of the
+//     state blob in virtual time.
+//   - resume: the operations vector swaps, the generation counter bumps,
+//     and held operations proceed against the new code.
+//
+// Invariants the protocol maintains: open files, the page cache, and the
+// dcache above the shim survive untouched (applications never observe
+// the swap beyond a pause); no operation ever runs partly on the old and
+// partly on the new instance; and an operation arriving mid-upgrade
+// waits for resume — in virtual time too, so the paper's availability
+// story (pause length, who pays it) is measurable and deterministic.
+// See docs/upgrade-and-crash.md for the operator-facing rendering.
 package core
 
 import (
@@ -26,6 +46,7 @@ import (
 	"bento/internal/blockdev"
 	"bento/internal/fsapi"
 	"bento/internal/kernel"
+	"bento/internal/trace"
 )
 
 // FileSystem is the Bento file-operations API. File systems implement it
@@ -146,6 +167,36 @@ type BentoFS struct {
 
 	generation atomic.Int64 // bumped per upgrade
 	ops        atomic.Int64 // operations served (all generations)
+
+	// upgradeEnd is the virtual timestamp at which the most recent
+	// upgrade resumed. An operation whose task clock is still behind it
+	// arrived mid-upgrade in virtual time and pays the remaining pause in
+	// enter() — one atomic load on the hot path, no allocation. The
+	// vclock scheduler admits workers in (virtual time, id) order, so by
+	// the time the operator's Upgrade call runs at virtual time T every
+	// parked worker's next operation carries a timestamp >= T; the stall
+	// is therefore a pure function of the virtual timeline and
+	// byte-reproducible across hosts and -parallel levels.
+	upgradeEnd  atomic.Int64
+	stalledOps  atomic.Int64 // ops that arrived mid-upgrade and waited
+	lastUpgrade UpgradeStats // guarded by mu (written under the write lock)
+}
+
+// UpgradeStats breaks down the most recent Upgrade call in virtual
+// nanoseconds: the total pause (write lock held) and its quiesce /
+// transfer / resume phases, plus the size of the serialized state moved
+// between instances. StalledOps counts operations that arrived while the
+// upgrade was in progress and waited for resume.
+type UpgradeStats struct {
+	Generation    int64 // generation the upgrade produced
+	StartNS       int64 // virtual time the quiesce lock was acquired
+	EndNS         int64 // virtual time operations resumed
+	PauseNS       int64 // EndNS - StartNS
+	QuiesceNS     int64 // drain + PrepareTransfer (or SyncFS+Destroy)
+	TransferNS    int64 // replacement Init + state copy + RestoreTransfer
+	ResumeNS      int64 // ops-vector swap + publish
+	TransferBytes int64 // len(state) moved between instances
+	StalledOps    int64 // operations that paid part of the pause
 }
 
 var (
@@ -163,6 +214,17 @@ func (b *BentoFS) enter(t *kernel.Task) {
 	t.Charge(t.Model().BentoDispatch)
 	b.mu.RLock()
 	b.ops.Add(1)
+	// Mid-upgrade arrival: pay the rest of the pause in virtual time
+	// (mirrors the journal's begin-stall). The common case is one atomic
+	// load and a not-taken branch.
+	if end := b.upgradeEnd.Load(); end > t.Clk.NowNS() {
+		b.stalledOps.Add(1)
+		if r := t.Rec(); r != nil {
+			r.Span(t.Name, trace.CatUpgrade, "resume-wait", t.Clk.NowNS(), end)
+			r.Add(trace.CtrUpgradeStalls, 1)
+		}
+		t.Clk.AdvanceTo(end)
+	}
 }
 
 // exit drops the quiesce read-lock taken by enter.
@@ -184,16 +246,35 @@ func (b *BentoFS) Inner() FileSystem {
 	return b.fs
 }
 
+// LastUpgrade returns the virtual-time breakdown of the most recent
+// Upgrade call (zero value if none has run). StalledOps is live:
+// operations whose clocks lag the resume timestamp may still arrive and
+// pay their stall after Upgrade returns.
+func (b *BentoFS) LastUpgrade() UpgradeStats {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	st := b.lastUpgrade
+	st.StalledOps = b.stalledOps.Load()
+	return st
+}
+
 // Upgrade swaps in a replacement file-system implementation while the
 // mount stays live (paper §4.8): in-flight operations drain, the old
 // instance serializes its in-memory state, the new instance restores it,
 // and subsequent operations run on the new code. Open files and the page
 // cache above the shim survive untouched, so applications never notice
 // beyond a pause.
+//
+// The quiesce / transfer / resume phases are traced as trace.CatUpgrade
+// spans on the calling task's track, and their virtual-time breakdown is
+// retained for LastUpgrade. Operations that arrive while the upgrade is
+// in progress stall in enter() until the resume timestamp — that stall
+// is the per-op latency spike the availability experiment measures.
 func (b *BentoFS) Upgrade(t *kernel.Task, next FileSystem) error {
 	b.mu.Lock() // quiesce: waits for every in-flight operation
 	defer b.mu.Unlock()
 
+	start := t.Clk.NowNS()
 	old := b.fs
 	var state []byte
 	if up, ok := old.(Upgradable); ok {
@@ -212,6 +293,7 @@ func (b *BentoFS) Upgrade(t *kernel.Task, next FileSystem) error {
 			return fmt.Errorf("bentofs: destroy %q: %w", old.BentoName(), err)
 		}
 	}
+	quiesceEnd := t.Clk.NowNS()
 
 	if err := next.Init(t, b.sb); err != nil {
 		return fmt.Errorf("bentofs: init replacement %q: %w", next.BentoName(), err)
@@ -228,8 +310,34 @@ func (b *BentoFS) Upgrade(t *kernel.Task, next FileSystem) error {
 			return fmt.Errorf("bentofs: restore transfer into %q: %w", next.BentoName(), err)
 		}
 	}
+	transferEnd := t.Clk.NowNS()
+
+	// Publishing the swap costs one dispatch: the ops-vector pointer
+	// swap plus the barrier that makes it visible.
+	t.Charge(t.Model().BentoDispatch)
 	b.fs = next
-	b.generation.Add(1)
+	gen := b.generation.Add(1)
+	end := t.Clk.NowNS()
+
+	b.stalledOps.Store(0) // stalls are per-upgrade
+	b.lastUpgrade = UpgradeStats{
+		Generation:    gen,
+		StartNS:       start,
+		EndNS:         end,
+		PauseNS:       end - start,
+		QuiesceNS:     quiesceEnd - start,
+		TransferNS:    transferEnd - quiesceEnd,
+		ResumeNS:      end - transferEnd,
+		TransferBytes: int64(len(state)),
+	}
+	b.upgradeEnd.Store(end)
+
+	if r := t.Rec(); r != nil {
+		r.Span(t.Name, trace.CatUpgrade, "quiesce", start, quiesceEnd)
+		r.Span(t.Name, trace.CatUpgrade, "transfer", quiesceEnd, transferEnd)
+		r.Span(t.Name, trace.CatUpgrade, "resume", transferEnd, end)
+		r.Add(trace.CtrUpgrades, 1)
+	}
 	return nil
 }
 

@@ -7,6 +7,14 @@
 // the 7% that remain — maps here to: every memory/type bug class is
 // detected and contained; deadlocks are not prevented (they can only be
 // noticed by a watchdog).
+//
+// This package injects bugs into the file-system code and asks whether
+// the framework contains them. Its sibling, internal/crashtort, injects
+// failures into the environment instead — power cuts at every journal
+// boundary of the block device — and asks whether recovery holds; both
+// ride the same deterministic kernel/device simulation, so every
+// reported failure replays exactly. See docs/upgrade-and-crash.md for
+// the crash side.
 package faultinject
 
 import (

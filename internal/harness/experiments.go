@@ -26,11 +26,17 @@ const (
 	// read-ahead and background flusher, which the FUSE baseline lacks,
 	// set the pace.
 	ExpStream = "stream"
+	// ExpUpgrade is the live-upgrade availability scenario (§4.8, this
+	// reproduction's measurement of it): concurrent readers and writers
+	// keep running while the Bento module is hot-swapped mid-window; the
+	// pause, state-transfer cost, and worst per-op latency are reported
+	// as their own benchdiff-gated cells. See upgradePlan.
+	ExpUpgrade = "upgrade"
 )
 
 // AllExperiments lists every reproducible artifact in paper order, plus
-// the streaming scenario.
-var AllExperiments = []string{ExpTable1, ExpTable2, ExpFig2, ExpFig3, ExpFig4, ExpTable4, ExpTable5, ExpTable6, ExpStream}
+// the streaming and upgrade scenarios.
+var AllExperiments = []string{ExpTable1, ExpTable2, ExpFig2, ExpFig3, ExpFig4, ExpTable4, ExpTable5, ExpTable6, ExpStream, ExpUpgrade}
 
 // plan is one experiment's declarative form: an ordered list of
 // self-contained cells plus a renderer that turns the per-variant results
@@ -68,6 +74,8 @@ func planFor(id string, o Options) (*plan, string, error) {
 		return table6Plan(o), "", nil
 	case ExpStream:
 		return streamPlan(o), "", nil
+	case ExpUpgrade:
+		return upgradePlan(o), "", nil
 	}
 	return nil, "", fmt.Errorf("harness: unknown experiment %q (have %v)", id, AllExperiments)
 }

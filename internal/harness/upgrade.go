@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"bento/internal/core"
+	"bento/internal/filebench"
+	"bento/internal/kernel"
+	"bento/internal/xv6/bentoimpl"
+)
+
+// upgradeOut is the shared output of the single upgrade-scenario run
+// that all four upgrade cells report slices of.
+type upgradeOut struct {
+	mix    filebench.Result
+	report filebench.UpgradeReport
+	stats  core.UpgradeStats
+}
+
+// upgradePlan builds the live-upgrade availability experiment: one
+// workload run — concurrent readers and writers on a Bento mount with a
+// mid-window hot swap of the bentoimpl module — reported as four cells
+// so each availability number is individually gated by benchdiff:
+//
+//   - upgrade-mix-2r2w: workload throughput across the swap (ops/sec);
+//   - upgrade-pause: the quiesce-to-resume pause (Ops=1, elapsed =
+//     pause), so OpsPerSec is 1e9/pause and a longer pause reads as a
+//     throughput regression;
+//   - upgrade-xfer: the state-transfer phase, same encoding, with Bytes
+//     carrying the serialized state size;
+//   - upgrade-maxlat: the slowest single operation of the window — the
+//     latency spike paid by whoever arrives mid-upgrade.
+//
+// The four cells share one sync.OnceValues-memoized run: the runner may
+// execute their specs on any host workers in any order, and whichever
+// claims the run first executes it while the rest reuse the result.
+func upgradePlan(o Options) *plan {
+	v := VariantBento
+	run := sync.OnceValues(func() (upgradeOut, error) {
+		tg, err := NewTarget(v, o)
+		if err != nil {
+			return upgradeOut{}, fmt.Errorf("upgrade %s: %w", v, err)
+		}
+		shim := tg.M.FS().(*core.BentoFS)
+		// Continuous write-back (as in fig4's sustained-write cells): an
+		// unbounded dirty budget would defer the writers' entire dirty set
+		// into one giant pre-swap flush whose group-commit window the
+		// quiesce then waits out, drowning the upgrade cost it measures.
+		tg.M.SetDirtyLimit(256)
+		// No MaxOps cap: the cap exists to bound host time on expensive
+		// cells, but here it would retire the (cheap, cached) workers
+		// before the mid-window swap, leaving nothing to straddle the
+		// pause. Duration alone bounds this cell.
+		mix, rep, err := filebench.UpgradeMix(tg, filebench.UpgradeConfig{
+			Readers: 2, Writers: 2, IOSize: 4096, FileSize: workingSet(o, 4),
+			Duration: o.Duration, Seed: 9, SwapAt: o.Duration / 2,
+			Swap: func(task *kernel.Task) error {
+				// The replacement is the same module built with the mount's
+				// configuration — the "fix deployed to a live fleet" shape.
+				next := bentoimpl.New(bentoimpl.Config{
+					Policy: bentoimpl.PolicyWriteBack, DataBypass: o.dataBypass(),
+				})
+				return shim.Upgrade(task, next)
+			},
+		})
+		if err != nil {
+			return upgradeOut{}, fmt.Errorf("upgrade %s: %w", v, err)
+		}
+		stats := shim.LastUpgrade()
+		if stats.Generation == 0 {
+			return upgradeOut{}, fmt.Errorf("upgrade %s: swap never ran", v)
+		}
+		mix, err = finishCell(tg, mix, ExpUpgrade, v, o)
+		if err != nil {
+			return upgradeOut{}, err
+		}
+		return upgradeOut{mix: mix, report: rep, stats: stats}, nil
+	})
+	derived := func(name string, ops, bytes, ns int64) filebench.Result {
+		return filebench.Result{Name: name, Ops: ops, Bytes: bytes, Elapsed: time.Duration(ns)}
+	}
+	specs := []CellSpec{
+		{Experiment: ExpUpgrade, Variant: v, Run: func() (filebench.Result, error) {
+			out, err := run()
+			return out.mix, err
+		}},
+		{Experiment: ExpUpgrade, Variant: v, Run: func() (filebench.Result, error) {
+			out, err := run()
+			if err != nil {
+				return filebench.Result{}, err
+			}
+			return derived("upgrade-pause", 1, 0, out.stats.PauseNS), nil
+		}},
+		{Experiment: ExpUpgrade, Variant: v, Run: func() (filebench.Result, error) {
+			out, err := run()
+			if err != nil {
+				return filebench.Result{}, err
+			}
+			return derived("upgrade-xfer", 1, out.stats.TransferBytes, out.stats.TransferNS), nil
+		}},
+		{Experiment: ExpUpgrade, Variant: v, Run: func() (filebench.Result, error) {
+			out, err := run()
+			if err != nil {
+				return filebench.Result{}, err
+			}
+			return derived("upgrade-maxlat", 1, 0, out.report.MaxOpNS), nil
+		}},
+	}
+	cols := []string{"mix (ops/s)", "pause (µs)", "xfer (µs)", "xfer (B)", "max-op (µs)"}
+	rows := []string{v}
+	return &plan{rows: rows, specs: specs, render: func(data map[string][]filebench.Result) string {
+		us := func(r filebench.Result) string {
+			return fmt.Sprintf("%.1f", float64(r.Elapsed.Nanoseconds())/1e3)
+		}
+		cells := data[v] // [mix, pause, xfer, maxlat] in spec order
+		return Table("Live upgrade under load: hot-swap of the Bento module mid-workload", cols, rows,
+			func(_, c int) string {
+				switch c {
+				case 0:
+					return fmt.Sprintf("%.0f", cells[0].OpsPerSec())
+				case 1:
+					return us(cells[1])
+				case 2:
+					return us(cells[2])
+				case 3:
+					return fmt.Sprintf("%d", cells[2].Bytes)
+				default:
+					return us(cells[3])
+				}
+			})
+	}}
+}
+
+// UpgradeScenario runs the live-upgrade availability experiment (see
+// upgradePlan).
+func UpgradeScenario(o Options) (string, map[string][]filebench.Result, error) {
+	return runExperiment(ExpUpgrade, o)
+}

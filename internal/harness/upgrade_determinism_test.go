@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestUpgradeScenarioDeterministic runs the live-upgrade availability
+// experiment twice and requires identical virtual-time results for all
+// four cells — the workload mix and the derived pause/transfer/max-
+// latency numbers. The hot swap happens mid-window with readers and
+// writers in flight, so this is the determinism check for the whole
+// quiesce/transfer/resume protocol under load.
+func TestUpgradeScenarioDeterministic(t *testing.T) {
+	o := determinismOpts()
+	_, first, err := UpgradeScenario(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, second, err := UpgradeScenario(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqual(t, first, second)
+
+	cells := first[VariantBento] // [mix, pause, xfer, maxlat] in spec order
+	if len(cells) != 4 {
+		t.Fatalf("%d upgrade cells, want 4", len(cells))
+	}
+	if cells[0].Ops == 0 {
+		t.Fatal("upgrade mix did no work")
+	}
+	if cells[1].Elapsed <= 0 {
+		t.Fatalf("upgrade pause = %v, want > 0", cells[1].Elapsed)
+	}
+	if cells[2].Bytes == 0 {
+		t.Fatal("upgrade transferred no state")
+	}
+	// A worker arriving just after the swap starts waits out (most of)
+	// the pause, so the window's worst op latency must be of the pause's
+	// order — the latency spike the cell exists to expose.
+	if cells[3].Elapsed < cells[1].Elapsed/4 {
+		t.Fatalf("max op latency %v is not of the pause's order (%v): no operation straddled the swap",
+			cells[3].Elapsed, cells[1].Elapsed)
+	}
+}
+
+// TestUpgradeParallelismInvariant serializes the upgrade experiment's
+// records at -parallel=1 and -parallel=8 and requires byte-identical
+// JSON — the four cells share one memoized workload run, and whichever
+// host worker claims it first must produce the same bytes.
+func TestUpgradeParallelismInvariant(t *testing.T) {
+	run := func(parallel int) []byte {
+		t.Helper()
+		o := determinismOpts()
+		o.Parallel = parallel
+		results, err := RunMatrix([]string{ExpUpgrade}, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var recs []Record
+		for _, er := range results {
+			recs = append(recs, er.Records...)
+		}
+		StripHostNS(recs)
+		buf, err := json.Marshal(recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+	seq := run(1)
+	par := run(8)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("upgrade records differ between -parallel=1 (%d bytes) and -parallel=8 (%d bytes)",
+			len(seq), len(par))
+	}
+}

@@ -61,6 +61,10 @@ const (
 	// exclusive time is the application's own think time (the harness's
 	// AppOpOverhead plus anything no other span claims).
 	CatWorker = "worker"
+	// CatUpgrade is the §4.8 online-upgrade protocol: the quiesce /
+	// transfer / resume phases on the operator's track, and the stall an
+	// operation arriving mid-upgrade pays waiting for resume.
+	CatUpgrade = "upgrade"
 )
 
 // Counter indexes one cell-wide counter. Counters are exported under
@@ -95,6 +99,8 @@ const (
 	CtrDevReads
 	CtrDevWrites
 	CtrDevFlushes
+	CtrUpgrades
+	CtrUpgradeStalls
 	numCounters
 )
 
@@ -123,6 +129,8 @@ var counterNames = [numCounters]string{
 	CtrDevReads:        "dev_reads",
 	CtrDevWrites:       "dev_writes",
 	CtrDevFlushes:      "dev_flushes",
+	CtrUpgrades:        "upgrades",
+	CtrUpgradeStalls:   "upgrade_stalls",
 }
 
 // Kind distinguishes the three event shapes.
