@@ -7,6 +7,12 @@
 //	bentobench -quick -json > fresh.json
 //	benchdiff -baseline BENCH_baseline.json -new fresh.json [-tol 0.05]
 //
+// -experiments restricts the gate to a comma-separated experiment list:
+// both sides are filtered before comparison, so a fresh run of one
+// experiment (`bentobench -exp netstore -json`) gates against exactly
+// that experiment's baseline cells instead of failing every other
+// baseline cell as missing.
+//
 // Every cell is compared on its throughput metric — ops/sec for the
 // metadata and op-count benchmarks, MB/s for the byte-moving ones. All
 // workloads run either fixed work or a fixed virtual window, so lower
@@ -38,6 +44,7 @@ func main() {
 	newPath := flag.String("new", "", "fresh bentobench -json output to gate")
 	tol := flag.Float64("tol", 0.05, "allowed fractional regression per cell")
 	mdPath := flag.String("md", "", "append a Markdown report to this file (CI passes $GITHUB_STEP_SUMMARY so the per-cell table lands on the run's summary page)")
+	experiments := flag.String("experiments", "", "comma-separated experiment ids to compare (default all); filters baseline and fresh records alike")
 	flag.Parse()
 	if *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
@@ -53,6 +60,11 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(2)
+	}
+	if *experiments != "" {
+		keep := strings.Split(*experiments, ",")
+		baseline = FilterExperiments(baseline, keep)
+		fresh = FilterExperiments(fresh, keep)
 	}
 	rep := Compare(baseline, fresh, *tol)
 	fmt.Print(rep.Text())
@@ -86,6 +98,24 @@ func readRecords(path string) ([]harness.Record, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return recs, nil
+}
+
+// FilterExperiments keeps only records whose Experiment is in keep
+// (whitespace around ids tolerated, record order preserved).
+func FilterExperiments(recs []harness.Record, keep []string) []harness.Record {
+	want := make(map[string]bool, len(keep))
+	for _, id := range keep {
+		if id = strings.TrimSpace(id); id != "" {
+			want[id] = true
+		}
+	}
+	out := make([]harness.Record, 0, len(recs))
+	for _, r := range recs {
+		if want[r.Experiment] {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // cellKey identifies one benchmark cell across runs.

@@ -222,3 +222,26 @@ func TestHostTimesAbsentWithoutHostNS(t *testing.T) {
 		t.Fatalf("markdown shows a host-time section for a run without host_ns:\n%s", rep.Markdown())
 	}
 }
+
+func TestFilterExperiments(t *testing.T) {
+	recs := []harness.Record{
+		rec("fig2", "Bento", "read-seq-1t-4k", 1000, 50000, 0, 0),
+		rec("netstore", "Bento", "lan-read-seq-1t-4k", 800, 40000, 0, 0),
+		rec("netstore", "FUSE", "wan-varmail-16t", 40, 600, 0, 0),
+		rec("stream", "Ext4", "stream-read-1t-128k", 320, 10, 41943040, 46),
+	}
+	got := FilterExperiments(recs, []string{" netstore ", ""})
+	if len(got) != 2 || got[0].Cell != "lan-read-seq-1t-4k" || got[1].Cell != "wan-varmail-16t" {
+		t.Fatalf("filter kept wrong records: %+v", got)
+	}
+	// A filtered gate compares only the kept experiment: the fig2 and
+	// stream baseline cells must not be reported missing.
+	repAll := Compare(recs, got, 0.05)
+	if !repAll.Failed() {
+		t.Fatal("unfiltered baseline vs netstore-only fresh run should fail on missing cells")
+	}
+	rep := Compare(FilterExperiments(recs, []string{"netstore"}), got, 0.05)
+	if rep.Failed() || rep.Compared != 2 {
+		t.Fatalf("filtered compare wrong: %s", rep.Text())
+	}
+}

@@ -12,6 +12,8 @@
 //	bentobench -hostns          # include per-cell host wall-clock in -json (not byte-stable)
 //	bentobench -metrics         # per-cell trace counters in -json records (metrics map)
 //	bentobench -trace traces/   # one Chrome/Perfetto trace JSON per cell (virtual timeline)
+//	bentobench -backend netstore       # mount every cell on the object-store backend
+//	bentobench -netlat 5ms -netbw 100  # netstore request latency / bandwidth (MB/s) overrides
 //	bentobench -shards 8        # add the sharded-buffer-cache Bento row
 //	bentobench -noiod           # disable background I/O (read-ahead + flusher)
 //	bentobench -databypass=false # re-enable data double-caching (seed behaviour)
@@ -45,6 +47,9 @@ func main() {
 	hostns := flag.Bool("hostns", false, "include per-cell host wall-clock (host_ns) in -json records; informational and not byte-stable across runs")
 	metrics := flag.Bool("metrics", false, "attach trace counters to each cell and emit them as the record's metrics map (deterministic)")
 	traceDir := flag.String("trace", "", "write one Chrome/Perfetto trace-event JSON per cell (virtual timeline, byte-stable) into this directory")
+	backend := flag.String("backend", harness.BackendLocal, "storage backend under every cell: "+strings.Join(harness.Backends, " or ")+" (the netstore experiment always runs its fixed presets)")
+	netlat := flag.Duration("netlat", 0, "netstore request latency override (0 = model default; ignored for -backend local)")
+	netbw := flag.Int("netbw", 0, "netstore streaming bandwidth override in MB/s (0 = model default; ignored for -backend local)")
 	shards := flag.Int("shards", 0, "buffer-cache shards for the Bento-shard study row (>1 to enable)")
 	noiod := flag.Bool("noiod", false, "disable the background I/O subsystem on the in-kernel variants")
 	databypass := flag.Bool("databypass", true, "single-copy data caching: file contents bypass the buffer cache on the in-kernel variants (false restores the seed's double-caching)")
@@ -66,6 +71,9 @@ func main() {
 		o.Duration = *dur
 	}
 	o.Parallel = *parallel
+	o.Backend = *backend
+	o.NetLat = *netlat
+	o.NetBWMBps = *netbw
 	o.CacheShards = *shards
 	o.NoIODaemon = *noiod
 	o.NoDataBypass = !*databypass

@@ -124,7 +124,7 @@ func expandArgs(args []string) ([]string, error) {
 
 // breakdownCats is the column order of the report. "worker" renders as
 // "app": its exclusive time is what the benchmark loop itself spent.
-var breakdownCats = []string{"syscall", "cache", "journal", "device", "daemon", "fuse", "upgrade", "worker"}
+var breakdownCats = []string{"syscall", "cache", "journal", "device", "net", "daemon", "fuse", "upgrade", "worker"}
 
 func catLabel(c string) string {
 	if c == "worker" {

@@ -28,6 +28,13 @@ type Buffer interface {
 // Disk is the storage service a Bento file system receives at Init: the
 // kernel-side SuperBlock capability, or the userspace O_DIRECT
 // equivalent when the same file system runs under FUSE.
+//
+// Disk is deliberately backend-agnostic: both implementations bottom
+// out in a blockdev.Device, whose storage tier is itself pluggable (the
+// local NVMe model or internal/netstore's object store — see
+// blockdev.Backend). A file system written against Disk therefore runs
+// unmodified over any backend; only the latencies its buffers report
+// change.
 type Disk interface {
 	// BlockSize reports the device block size.
 	BlockSize() int

@@ -1,12 +1,19 @@
-// Package blockdev implements the simulated NVMe SSD that backs every file
-// system in this repository.
+// Package blockdev implements the simulated block device that backs every
+// file system in this repository, split into a backend-agnostic front
+// (the Device) and pluggable storage Backends.
 //
-// The device stores real bytes (file systems on top of it are functional,
-// not mocked) and charges virtual time through a vclock.Resource that
-// models the drive's queue pairs. Writes land in a volatile write cache:
-// they complete quickly but are not durable until a FLUSH command, which is
-// slow — the behaviour of consumer NVMe parts without power-loss
-// protection, and the mechanism behind the paper's FUSE fsync penalty.
+// The Device front owns everything a storage tier shares: argument
+// validation, fault injection, power-cut scheduling, command statistics,
+// and trace counters/queue-depth sampling. The Backend underneath stores
+// real bytes (file systems on top of it are functional, not mocked) and
+// prices each command in virtual time. The default backend is the local
+// NVMe model in this package: commands are booked on a vclock.Resource
+// that models the drive's queue pairs, and writes land in a volatile
+// write cache — they complete quickly but are not durable until a FLUSH
+// command, which is slow, the behaviour of consumer NVMe parts without
+// power-loss protection and the mechanism behind the paper's FUSE fsync
+// penalty. internal/netstore supplies the remote object-store backend
+// (network cost model + read-through cache tier) behind the same Device.
 //
 // Crash semantics. What power loss destroys is exactly the volatile
 // write cache: every write since the last FLUSH. Crash(keepFraction,
@@ -22,22 +29,21 @@
 // ErrPowerLoss — the deterministic enumeration the crash-point fuzzer
 // (internal/crashtort, cmd/crashtort) sweeps.
 //
-// Determinism: queue bookings (Read/Submit/Flush) mutate the shared
-// vclock.Resource, so their completion times depend on booking order.
-// The device itself imposes no order — it books in call order. Benchmark
-// workers are serialized by the vclock scheduler (one admitted worker at
-// a time, minimal (virtual time, id) first), which fixes the call order
-// as a function of virtual time; every multi-worker cell therefore
-// replays bit-for-bit. The only internal map walk, Flush's dirty-set
-// promotion, commutes: it moves whole blocks into the durable map and
-// derives cost from the count alone.
+// Determinism: queue bookings (Read/Submit/Flush) mutate the backend's
+// shared vclock.Resource, so their completion times depend on booking
+// order. The device itself imposes no order — it books in call order
+// under one mutex. Benchmark workers are serialized by the vclock
+// scheduler (one admitted worker at a time, minimal (virtual time, id)
+// first), which fixes the call order as a function of virtual time;
+// every multi-worker cell therefore replays bit-for-bit. The only
+// internal map walk, the local Flush's dirty-set promotion, commutes: it
+// moves whole blocks into the durable map and derives cost from the
+// count alone.
 package blockdev
 
 import (
 	"errors"
 	"fmt"
-	"math/rand"
-	"sort"
 	"sync"
 
 	"bento/internal/costmodel"
@@ -69,6 +75,11 @@ type Config struct {
 	Model *costmodel.Model
 	// Name labels the device in stats output.
 	Name string
+	// Backend supplies the storage tier; nil selects the local
+	// RAM-backed NVMe model. A non-nil backend must be sized for the
+	// same BlockSize and Blocks geometry this Config declares — the
+	// front validates block numbers against Blocks before delegating.
+	Backend Backend
 }
 
 // Stats counts completed device commands.
@@ -80,21 +91,19 @@ type Stats struct {
 	BytesWritten int64
 }
 
-// Device is a RAM-backed, latency-modeled block device. It is safe for
-// concurrent use.
+// Device is a latency-modeled block device front over a pluggable
+// storage Backend. It is safe for concurrent use.
 type Device struct {
 	mu        sync.Mutex
 	name      string
 	blockSize int
 	blocks    int
-	// Storage is sparse: absent blocks read as zeros, so multi-GiB devices
-	// cost host memory only for blocks actually written. A durable block's
-	// slice may be shared between data and persist; the first write after a
-	// FLUSH copies-on-write, so persist is never mutated in place.
-	data    map[int][]byte   // current contents (includes unflushed writes)
-	persist map[int][]byte   // durable contents (as of the last FLUSH)
-	dirty   map[int]struct{} // blocks written since the last FLUSH
-	res     *vclock.Resource
+	// backend stores the bytes and prices the commands. It is called
+	// only under mu, which serializes booking order (the backend itself
+	// need not be concurrency-safe). Stored as an interface field
+	// converted once at construction, so hot-path delegation never
+	// boxes or allocates.
+	backend Backend
 	model   *costmodel.Model
 	stats   Stats
 
@@ -136,14 +145,15 @@ func New(cfg Config) (*Device, error) {
 	if cfg.Name == "" {
 		cfg.Name = "nvme0"
 	}
+	be := cfg.Backend
+	if be == nil {
+		be = NewLocalBackend(cfg.Name, cfg.BlockSize, cfg.Model)
+	}
 	return &Device{
 		name:      cfg.Name,
 		blockSize: cfg.BlockSize,
 		blocks:    cfg.Blocks,
-		data:      make(map[int][]byte),
-		persist:   make(map[int][]byte),
-		dirty:     make(map[int]struct{}),
-		res:       vclock.NewResource(cfg.Name, cfg.Model.DevChannels),
+		backend:   be,
 		model:     cfg.Model,
 	}, nil
 }
@@ -166,14 +176,33 @@ func (d *Device) Blocks() int { return d.blocks }
 // Model exposes the device's cost model (shared with the kernel sim).
 func (d *Device) Model() *costmodel.Model { return d.model }
 
+// Backend exposes the storage tier behind the front (tests and tools
+// that need backend-specific statistics type-assert on it).
+func (d *Device) Backend() Backend { return d.backend }
+
 // sampleEvery is the command-count stride between queue-occupancy trace
 // samples; sampling by count (not time) keeps the overhead bounded on
 // I/O-heavy cells while still resolving queue build-up.
 const sampleEvery = 64
 
 // SetRecorder attaches the cell's trace recorder (nil disables). The
-// harness sets it at device creation, before any I/O.
-func (d *Device) SetRecorder(r *trace.Recorder) { d.rec = r }
+// harness sets it at device creation, before any I/O. The backend gets
+// the same recorder for its own spans and counters (netstore's GET/PUT
+// request spans; the local backend records nothing extra).
+func (d *Device) SetRecorder(r *trace.Recorder) {
+	d.rec = r
+	d.backend.SetRecorder(r)
+}
+
+// DropBackendCache evicts clean entries from the backend's local cache
+// tier (netstore's read-through object cache), so drop_caches-style
+// scenarios are cold all the way to the remote store. A no-op on the
+// local backend.
+func (d *Device) DropBackendCache() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.backend.DropCache()
+}
 
 // sampleLocked emits a queue-occupancy sample every sampleEvery-th
 // command. Caller holds d.mu; the completion time has already been
@@ -181,7 +210,7 @@ func (d *Device) SetRecorder(r *trace.Recorder) { d.rec = r }
 func (d *Device) sampleLocked(now int64) {
 	d.cmdSeq++
 	if d.cmdSeq%sampleEvery == 0 {
-		d.rec.Sample(d.name, "qdepth", now, int64(d.res.InUse(now)))
+		d.rec.Sample(d.name, "qdepth", now, int64(d.backend.QueueDepth(now)))
 	}
 }
 
@@ -196,15 +225,10 @@ func (d *Device) Read(clk *vclock.Clock, blk int, buf []byte) error {
 		d.mu.Unlock()
 		return err
 	}
-	if b, ok := d.data[blk]; ok {
-		copy(buf, b)
-	} else {
-		clear(buf)
-	}
 	d.stats.Reads++
 	d.stats.BytesRead += int64(d.blockSize)
 
-	done := d.res.Acquire(clk.NowNS(), int64(d.model.DevRead(d.blockSize)))
+	done := d.backend.ReadBlock(clk.NowNS(), blk, buf)
 	d.rec.Add(trace.CtrDevReads, 1)
 	d.sampleLocked(done)
 	d.mu.Unlock()
@@ -226,16 +250,10 @@ func (d *Device) Submit(clk *vclock.Clock, blk int, buf []byte) (completion int6
 		d.mu.Unlock()
 		return 0, err
 	}
-	if _, already := d.dirty[blk]; already {
-		copy(d.data[blk], buf) // private since the last flush; overwrite in place
-	} else {
-		d.data[blk] = append(make([]byte, 0, d.blockSize), buf...) // copy-on-write
-		d.dirty[blk] = struct{}{}
-	}
 	d.stats.Writes++
 	d.stats.BytesWritten += int64(d.blockSize)
 
-	completion = d.res.Acquire(clk.NowNS(), int64(d.model.DevWrite(d.blockSize)))
+	completion = d.backend.SubmitBlock(clk.NowNS(), blk, buf)
 	d.rec.Add(trace.CtrDevWrites, 1)
 	d.sampleLocked(completion)
 	d.countWriteLocked()
@@ -255,8 +273,10 @@ func (d *Device) Write(clk *vclock.Clock, blk int, buf []byte) error {
 	return nil
 }
 
-// Flush issues a FLUSH command: a full barrier across the queue pairs whose
-// cost grows with the amount of unflushed data, after which all previously
+// Flush issues the durability barrier: for the local backend a FLUSH
+// command across the queue pairs whose cost grows with the amount of
+// unflushed data; for netstore the coalesced write-back of every dirty
+// cache object into whole-object PUTs. Afterwards all previously
 // submitted writes are durable. It advances clk to completion.
 func (d *Device) Flush(clk *vclock.Clock) error {
 	d.mu.Lock()
@@ -269,14 +289,9 @@ func (d *Device) Flush(clk *vclock.Clock) error {
 		d.mu.Unlock()
 		return err
 	}
-	dirtyBytes := len(d.dirty) * d.blockSize
-	for blk := range d.dirty {
-		d.persist[blk] = d.data[blk] // share; next write copies-on-write
-	}
-	d.dirty = make(map[int]struct{})
 	d.stats.Flushes++
 
-	done := d.res.AcquireSerial(clk.NowNS(), int64(d.model.DevFlush(dirtyBytes)))
+	done := d.backend.Flush(clk.NowNS())
 	d.rec.Add(trace.CtrDevFlushes, 1)
 	d.sampleLocked(done)
 	d.countWriteLocked()
@@ -285,11 +300,12 @@ func (d *Device) Flush(clk *vclock.Clock) error {
 	return nil
 }
 
-// DirtyBlocks reports how many blocks sit in the volatile write cache.
+// DirtyBlocks reports how many blocks sit in the backend's volatile
+// tier (staged but not yet durable).
 func (d *Device) DirtyBlocks() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return len(d.dirty)
+	return d.backend.DirtyBlocks()
 }
 
 // Stats returns a snapshot of command counters.
@@ -300,21 +316,25 @@ func (d *Device) Stats() Stats {
 }
 
 // ResourceStats exposes queue statistics (utilization, backlog).
-func (d *Device) ResourceStats() vclock.ResourceStats { return d.res.Stats() }
+func (d *Device) ResourceStats() vclock.ResourceStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.backend.ResourceStats()
+}
 
 // ResetStats clears command counters and queue occupancy. Benchmarks call
 // it after warmup.
 func (d *Device) ResetStats() {
 	d.mu.Lock()
 	d.stats = Stats{}
+	d.backend.Reset()
 	d.mu.Unlock()
-	d.res.Reset()
 }
 
 // Crash simulates power loss: the device reverts to its durable contents
 // plus a pseudo-random keepFraction of the unflushed writes (chosen by
 // seed), modeling arbitrary write-cache retention and reordering. The
-// write cache is emptied. keepFraction is clamped to [0,1].
+// volatile tier is emptied. keepFraction is clamped to [0,1].
 func (d *Device) Crash(keepFraction float64, seed int64) {
 	if keepFraction < 0 {
 		keepFraction = 0
@@ -324,24 +344,7 @@ func (d *Device) Crash(keepFraction float64, seed int64) {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	rng := rand.New(rand.NewSource(seed))
-	blks := make([]int, 0, len(d.dirty))
-	for blk := range d.dirty {
-		blks = append(blks, blk)
-	}
-	sort.Ints(blks) // map order is random; sort so a seed fully determines the outcome
-	for _, blk := range blks {
-		if rng.Float64() < keepFraction {
-			// This unflushed write survives the power cut.
-			d.persist[blk] = d.data[blk]
-		}
-	}
-	d.data = make(map[int][]byte, len(d.persist))
-	for blk, b := range d.persist {
-		d.data[blk] = b // shared until the next write to blk copies-on-write
-	}
-	d.dirty = make(map[int]struct{})
-	d.res.Reset()
+	d.backend.Crash(keepFraction, seed)
 }
 
 // countWriteLocked advances the armed power-cut countdown by one

@@ -1,0 +1,112 @@
+package blockdev
+
+import (
+	"math/rand"
+	"sort"
+
+	"bento/internal/costmodel"
+	"bento/internal/trace"
+	"bento/internal/vclock"
+)
+
+// localBackend is the RAM-backed NVMe model: the storage half of the
+// historical Device, factored behind the Backend interface. Commands
+// are priced by the cost model's Dev* entries and booked on a
+// vclock.Resource with DevChannels service channels (queue-pair
+// parallelism); writes land in a volatile write cache that a FLUSH
+// promotes to the durable tier.
+//
+// Storage is sparse: absent blocks read as zeros, so multi-GiB devices
+// cost host memory only for blocks actually written. A durable block's
+// slice may be shared between data and persist; the first write after a
+// FLUSH copies-on-write, so persist is never mutated in place.
+type localBackend struct {
+	blockSize int
+	data      map[int][]byte   // current contents (includes unflushed writes)
+	persist   map[int][]byte   // durable contents (as of the last FLUSH)
+	dirty     map[int]struct{} // blocks written since the last FLUSH
+	res       *vclock.Resource
+	model     *costmodel.Model
+}
+
+// NewLocalBackend returns the RAM-backed local backend the Device uses
+// by default. It is exported so factories that take an explicit
+// Config.Backend (the storage conformance suite, for one) can construct
+// the local implementation the same way they construct remote ones.
+func NewLocalBackend(name string, blockSize int, model *costmodel.Model) Backend {
+	return &localBackend{
+		blockSize: blockSize,
+		data:      make(map[int][]byte),
+		persist:   make(map[int][]byte),
+		dirty:     make(map[int]struct{}),
+		res:       vclock.NewResource(name, model.DevChannels),
+		model:     model,
+	}
+}
+
+func (lb *localBackend) ReadBlock(now int64, blk int, buf []byte) int64 {
+	if b, ok := lb.data[blk]; ok {
+		copy(buf, b)
+	} else {
+		clear(buf)
+	}
+	return lb.res.Acquire(now, int64(lb.model.DevRead(lb.blockSize)))
+}
+
+func (lb *localBackend) SubmitBlock(now int64, blk int, buf []byte) int64 {
+	if _, already := lb.dirty[blk]; already {
+		copy(lb.data[blk], buf) // private since the last flush; overwrite in place
+	} else {
+		lb.data[blk] = append(make([]byte, 0, lb.blockSize), buf...) // copy-on-write
+		lb.dirty[blk] = struct{}{}
+	}
+	return lb.res.Acquire(now, int64(lb.model.DevWrite(lb.blockSize)))
+}
+
+// Flush promotes the whole write cache to the durable tier. The map
+// walk commutes: it moves whole blocks and derives cost from the count
+// alone, so iteration order cannot leak into virtual time.
+func (lb *localBackend) Flush(now int64) int64 {
+	dirtyBytes := len(lb.dirty) * lb.blockSize
+	for blk := range lb.dirty {
+		lb.persist[blk] = lb.data[blk] // share; next write copies-on-write
+	}
+	lb.dirty = make(map[int]struct{})
+	return lb.res.AcquireSerial(now, int64(lb.model.DevFlush(dirtyBytes)))
+}
+
+func (lb *localBackend) DirtyBlocks() int { return len(lb.dirty) }
+
+func (lb *localBackend) Crash(keepFraction float64, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	blks := make([]int, 0, len(lb.dirty))
+	for blk := range lb.dirty {
+		blks = append(blks, blk)
+	}
+	sort.Ints(blks) // map order is random; sort so a seed fully determines the outcome
+	for _, blk := range blks {
+		if rng.Float64() < keepFraction {
+			// This unflushed write survives the power cut.
+			lb.persist[blk] = lb.data[blk]
+		}
+	}
+	lb.data = make(map[int][]byte, len(lb.persist))
+	for blk, b := range lb.persist {
+		lb.data[blk] = b // shared until the next write to blk copies-on-write
+	}
+	lb.dirty = make(map[int]struct{})
+	lb.res.Reset()
+}
+
+func (lb *localBackend) QueueDepth(now int64) int { return lb.res.InUse(now) }
+
+func (lb *localBackend) ResourceStats() vclock.ResourceStats { return lb.res.Stats() }
+
+func (lb *localBackend) Reset() { lb.res.Reset() }
+
+// SetRecorder is a no-op: the Device front already counts commands and
+// samples queue depth; the local backend has nothing more to say.
+func (lb *localBackend) SetRecorder(*trace.Recorder) {}
+
+// DropCache is a no-op: the local backend has no cache tier.
+func (lb *localBackend) DropCache() {}

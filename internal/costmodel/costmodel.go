@@ -74,6 +74,28 @@ type Model struct {
 	// DevFlushPer4K is the additional FLUSH cost per dirty cached page.
 	DevFlushPer4K time.Duration
 
+	// --- Object store (internal/netstore) ---
+
+	// NetChannels bounds concurrent in-flight object-store requests
+	// (the HTTP connection pool); GETs and PUTs queue behind it.
+	NetChannels int
+	// NetGetBase is the first-byte latency of a GET: request round trip
+	// plus the store's time-to-first-byte. Dominated by network RTT, so
+	// it is the knob the -netlat flag turns.
+	NetGetBase time.Duration
+	// NetPutBase is the first-byte latency of a PUT (request round trip
+	// plus store-side admission).
+	NetPutBase time.Duration
+	// NetPer4K is the streaming cost per 4KiB of object payload in
+	// either direction — the inverse of link bandwidth (the -netbw
+	// knob). First-byte vs streaming cost is what makes large objects
+	// amortize round trips.
+	NetPer4K time.Duration
+	// NetFlushBase is the cost of the durability barrier against the
+	// object store (e.g. waiting out replication acks) after the dirty
+	// PUTs themselves have completed.
+	NetFlushBase time.Duration
+
 	// --- FUSE transport ---
 
 	// CtxSwitch is one scheduler wakeup (app → daemon or daemon → app).
@@ -149,6 +171,15 @@ func Default() *Model {
 		DevFlushBase:  4 * time.Millisecond,
 		DevFlushPer4K: 4 * time.Microsecond,
 
+		// LAN object store: ~0.5ms to first byte, ~330MB/s streaming,
+		// a few ms to harden a commit. The netstore experiment's "wan"
+		// preset scales these up; see internal/harness.
+		NetChannels:  16,
+		NetGetBase:   500 * time.Microsecond,
+		NetPutBase:   600 * time.Microsecond,
+		NetPer4K:     12 * time.Microsecond,
+		NetFlushBase: 2 * time.Millisecond,
+
 		CtxSwitch:        4 * time.Microsecond,
 		FuseMsg:          900 * time.Nanosecond,
 		DaemonThreads:    1,
@@ -190,6 +221,12 @@ func Fast() *Model {
 		DevWrite4K:    1 * time.Nanosecond,
 		DevFlushBase:  20 * time.Nanosecond,
 		DevFlushPer4K: 1 * time.Nanosecond,
+
+		NetChannels:  16,
+		NetGetBase:   10 * time.Nanosecond,
+		NetPutBase:   10 * time.Nanosecond,
+		NetPer4K:     1 * time.Nanosecond,
+		NetFlushBase: 20 * time.Nanosecond,
 
 		CtxSwitch:        2 * time.Nanosecond,
 		FuseMsg:          1 * time.Nanosecond,
@@ -237,4 +274,22 @@ func (m *Model) DevWrite(bytes int) time.Duration {
 // device write cache.
 func (m *Model) DevFlush(dirtyBytes int) time.Duration {
 	return m.DevFlushBase + time.Duration(pages(dirtyBytes))*m.DevFlushPer4K
+}
+
+// NetGet returns the object-store service time for fetching a bytes-sized
+// object: first-byte latency plus streaming transfer.
+func (m *Model) NetGet(bytes int) time.Duration {
+	return m.NetGetBase + time.Duration(pages(bytes))*m.NetPer4K
+}
+
+// NetPut returns the object-store service time for storing a bytes-sized
+// object.
+func (m *Model) NetPut(bytes int) time.Duration {
+	return m.NetPutBase + time.Duration(pages(bytes))*m.NetPer4K
+}
+
+// NetFlush returns the cost of the object-store durability barrier,
+// charged after the dirty PUTs it fences.
+func (m *Model) NetFlush() time.Duration {
+	return m.NetFlushBase
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"bento/internal/filebench"
 	"bento/internal/trace"
@@ -32,11 +33,20 @@ const (
 	// pause, state-transfer cost, and worst per-op latency are reported
 	// as their own benchdiff-gated cells. See upgradePlan.
 	ExpUpgrade = "upgrade"
+	// ExpNetstore is the multi-backend scenario: the Fig2 4KB read,
+	// streaming read, and varmail cells rerun with every variant mounted
+	// on the object-store backend (internal/netstore) at two fixed
+	// latency points — "lan" and "wan" — asking how the kernel-vs-FUSE
+	// gap behaves when the storage bottom is orders of magnitude slower
+	// than local NVMe. The presets are pinned in netstorePresets
+	// (independent of the -backend/-netlat/-netbw flags), so these cells
+	// are stable benchdiff-gated artifacts. See netstorePlan.
+	ExpNetstore = "netstore"
 )
 
 // AllExperiments lists every reproducible artifact in paper order, plus
-// the streaming and upgrade scenarios.
-var AllExperiments = []string{ExpTable1, ExpTable2, ExpFig2, ExpFig3, ExpFig4, ExpTable4, ExpTable5, ExpTable6, ExpStream, ExpUpgrade}
+// the streaming, upgrade, and netstore scenarios.
+var AllExperiments = []string{ExpTable1, ExpTable2, ExpFig2, ExpFig3, ExpFig4, ExpTable4, ExpTable5, ExpTable6, ExpStream, ExpUpgrade, ExpNetstore}
 
 // plan is one experiment's declarative form: an ordered list of
 // self-contained cells plus a renderer that turns the per-variant results
@@ -76,6 +86,8 @@ func planFor(id string, o Options) (*plan, string, error) {
 		return streamPlan(o), "", nil
 	case ExpUpgrade:
 		return upgradePlan(o), "", nil
+	case ExpNetstore:
+		return netstorePlan(o), "", nil
 	}
 	return nil, "", fmt.Errorf("harness: unknown experiment %q (have %v)", id, AllExperiments)
 }
@@ -475,6 +487,123 @@ func streamPlan(o Options) *plan {
 				return fmt.Sprintf("%.0f", data[vars[r]][c].MBps())
 			})
 	}}
+}
+
+// netstorePreset is one latency point of the netstore experiment.
+type netstorePreset struct {
+	name string
+	lat  time.Duration // request first-byte latency (→ Options.NetLat)
+	bw   int           // streaming bandwidth, MB/s (→ Options.NetBWMBps)
+}
+
+// netstorePresets pins the experiment's two latency points. They are
+// deliberately independent of the -netlat/-netbw flags (those steer
+// ad-hoc runs of the other experiments under -backend=netstore): the
+// published cells must mean the same thing in every baseline.
+var netstorePresets = []netstorePreset{
+	{name: "lan", lat: 500 * time.Microsecond, bw: 320},
+	{name: "wan", lat: 20 * time.Millisecond, bw: 80},
+}
+
+// netstorePlan builds the multi-backend scenario: for each variant and
+// each latency preset, the Fig2 4KB sequential read cell, the cold
+// streaming read, and varmail — the three workloads where the paper's
+// mechanisms (cache hits, read-ahead, fsync discipline) meet network
+// storage most differently. Cell names carry the preset prefix
+// ("lan-read-seq-1t-4k") so the two latency points stay distinct
+// benchdiff keys.
+func netstorePlan(o Options) *plan {
+	vars := AllVariants
+	var cols []string
+	for _, p := range netstorePresets {
+		cols = append(cols,
+			p.name+"-read4k (kop/s)",
+			p.name+"-stream (MB/s)",
+			p.name+"-varmail (op/s)",
+		)
+	}
+	fileSize := int64(o.StreamMB) << 20
+	if fileSize <= 0 {
+		fileSize = 32 << 20
+	}
+	if budget := int64(o.DevBlocks) * 4096 / 4; fileSize > budget {
+		fileSize = budget
+	}
+	var specs []CellSpec
+	for _, v := range vars {
+		for _, p := range netstorePresets {
+			// Each cell forces the netstore backend at its preset; the
+			// caller's -backend/-netlat/-netbw choices don't reach these
+			// published cells.
+			no := o
+			no.Backend = BackendNetstore
+			no.NetLat = p.lat
+			no.NetBWMBps = p.bw
+			prefix := p.name + "-"
+			specs = append(specs,
+				CellSpec{Experiment: ExpNetstore, Variant: v, Run: func() (filebench.Result, error) {
+					tg, err := NewTarget(v, no)
+					if err != nil {
+						return filebench.Result{}, fmt.Errorf("netstore %s read4k %s: %w", prefix, v, err)
+					}
+					r, err := filebench.ReadMicro(tg, filebench.MicroConfig{
+						Threads: 1, IOSize: 4096, FileSize: workingSet(no, 1),
+						Duration: no.Duration, MaxOps: no.MaxOps, Seed: 1,
+					})
+					if err != nil {
+						return r, fmt.Errorf("netstore %s read4k %s: %w", prefix, v, err)
+					}
+					r.Name = prefix + r.Name
+					return finishCell(tg, r, ExpNetstore, v, no)
+				}},
+				CellSpec{Experiment: ExpNetstore, Variant: v, Run: func() (filebench.Result, error) {
+					tg, err := NewTarget(v, no)
+					if err != nil {
+						return filebench.Result{}, fmt.Errorf("netstore %s stream %s: %w", prefix, v, err)
+					}
+					r, err := filebench.StreamRead(tg, filebench.StreamConfig{Threads: 1, FileSize: fileSize})
+					if err != nil {
+						return r, fmt.Errorf("netstore %s stream %s: %w", prefix, v, err)
+					}
+					r.Name = prefix + r.Name
+					return finishCell(tg, r, ExpNetstore, v, no)
+				}},
+				CellSpec{Experiment: ExpNetstore, Variant: v, Run: func() (filebench.Result, error) {
+					tg, err := NewTarget(v, no)
+					if err != nil {
+						return filebench.Result{}, fmt.Errorf("netstore %s varmail %s: %w", prefix, v, err)
+					}
+					r, err := filebench.Varmail(tg, filebench.MacroConfig{
+						Threads: 16, Files: o.MacroFiles, Duration: no.Duration, MaxOps: no.MaxOps, Seed: 3,
+					})
+					if err != nil {
+						return r, fmt.Errorf("netstore %s varmail %s: %w", prefix, v, err)
+					}
+					r.Name = prefix + r.Name
+					return finishCell(tg, r, ExpNetstore, v, no)
+				}},
+			)
+		}
+	}
+	return &plan{rows: vars, specs: specs, render: func(data map[string][]filebench.Result) string {
+		return Table("Netstore scenario: object-store backend at two latency points", cols, vars,
+			func(r, c int) string {
+				res := data[vars[r]][c]
+				switch c % 3 {
+				case 0:
+					return fmt.Sprintf("%.1f", res.OpsPerSec()/1000)
+				case 1:
+					return fmt.Sprintf("%.1f", res.MBps())
+				default:
+					return fmt.Sprintf("%.0f", res.OpsPerSec())
+				}
+			})
+	}}
+}
+
+// Netstore runs the multi-backend scenario (see netstorePlan).
+func Netstore(o Options) (string, map[string][]filebench.Result, error) {
+	return runExperiment(ExpNetstore, o)
 }
 
 // Fig2 regenerates Figure 2: 4KB reads, ops/sec, seq/rnd × 1/32 threads.

@@ -17,6 +17,7 @@ import (
 	"bento/internal/fuse"
 	"bento/internal/iodaemon"
 	"bento/internal/kernel"
+	"bento/internal/netstore"
 	"bento/internal/trace"
 	"bento/internal/vclock"
 	"bento/internal/xv6/bentoimpl"
@@ -44,6 +45,17 @@ const (
 	// on, so every run publishes the on/off comparison.
 	VariantBentoNoBypass = "Bento-nobypass"
 )
+
+// Storage backend names (Options.Backend / bentobench -backend).
+const (
+	// BackendLocal is the RAM-backed NVMe model (blockdev's default).
+	BackendLocal = "local"
+	// BackendNetstore is the object-store tier (internal/netstore).
+	BackendNetstore = "netstore"
+)
+
+// Backends lists the selectable storage backends.
+var Backends = []string{BackendLocal, BackendNetstore}
 
 // XV6Variants is the trio compared in every micro experiment.
 var XV6Variants = []string{VariantBento, VariantCKernel, VariantFUSE}
@@ -100,6 +112,23 @@ type Options struct {
 	// and byte-identical across runs, hosts, and -parallel levels.
 	TraceDir string
 
+	// Backend selects the storage tier every cell's device mounts on:
+	// BackendLocal ("" or "local", the NVMe model) or BackendNetstore
+	// (the object-store tier). The netstore experiment ignores this and
+	// always runs its own fixed latency presets, so its published cells
+	// are the same whichever backend the rest of the matrix uses.
+	Backend string
+
+	// NetLat, when > 0 with the netstore backend, overrides the
+	// object-store request latency: GET and PUT first-byte latency take
+	// the value and the flush barrier scales to 4x it (the default
+	// model's ratio). The bentobench -netlat flag.
+	NetLat time.Duration
+
+	// NetBWMBps, when > 0 with the netstore backend, overrides the
+	// object-store streaming bandwidth in MB/s (the -netbw flag).
+	NetBWMBps int
+
 	// NoDataBypass disables single-copy data caching on the in-kernel
 	// variants: file contents go back through each file system's buffer
 	// cache (and journal), the seed's double-caching behaviour. The
@@ -112,6 +141,30 @@ type Options struct {
 // dataBypass reports whether the in-kernel variants run the single-copy
 // data path.
 func (o Options) dataBypass() bool { return !o.NoDataBypass }
+
+// netstore reports whether cells mount on the object-store backend.
+func (o Options) netstore() bool { return o.Backend == BackendNetstore }
+
+// effectiveModel returns the cost model cells run under. The netstore
+// overrides (NetLat/NetBWMBps) apply to a copy, never to o.Model itself:
+// cells of several experiments share the base model across host-parallel
+// execution, and mutating it in place would be a determinism leak.
+func (o Options) effectiveModel() *costmodel.Model {
+	if !o.netstore() || (o.NetLat <= 0 && o.NetBWMBps <= 0) {
+		return o.Model
+	}
+	m := *o.Model
+	if o.NetLat > 0 {
+		m.NetGetBase = o.NetLat
+		m.NetPutBase = o.NetLat
+		m.NetFlushBase = 4 * o.NetLat
+	}
+	if o.NetBWMBps > 0 {
+		// 4096 bytes at MB/s: 4_096_000/BW nanoseconds per 4KiB page.
+		m.NetPer4K = time.Duration(4_096_000/o.NetBWMBps) * time.Nanosecond
+	}
+	return &m
+}
 
 // traced reports whether cells carry a trace recorder.
 func (o Options) traced() bool { return o.Metrics || o.TraceDir != "" }
@@ -178,14 +231,26 @@ func Quick() Options {
 // either — a userspace file system sits in front of none of these
 // mechanisms, which is the asymmetry the paper measures.
 func NewTarget(variant string, o Options) (filebench.Target, error) {
-	k := kernel.New(o.Model)
+	model := o.effectiveModel()
+	k := kernel.New(model)
 	if o.traced() {
 		// Attached before any task or I/O exists: tasks copy the recorder
 		// pointer at creation, so mkfs/mount/setup record too.
 		rec := trace.New()
 		k.SetRecorder(rec)
 	}
-	dev, err := blockdev.New(blockdev.Config{Blocks: o.DevBlocks, Model: o.Model})
+	devCfg := blockdev.Config{Blocks: o.DevBlocks, Model: model}
+	switch o.Backend {
+	case "", BackendLocal:
+		// blockdev's implicit local backend.
+	case BackendNetstore:
+		devCfg.Backend = netstore.New(netstore.Config{
+			Name: "net0", BlockSize: 4096, Blocks: o.DevBlocks, Model: model,
+		})
+	default:
+		return filebench.Target{}, fmt.Errorf("harness: unknown backend %q (have %v)", o.Backend, Backends)
+	}
+	dev, err := blockdev.New(devCfg)
 	if err != nil {
 		return filebench.Target{}, err
 	}

@@ -36,6 +36,13 @@
 // order, so multi-worker cells replay bit-for-bit too — the forked
 // clocks and the flusher frontier are pure functions of the admission
 // sequence.
+//
+// Neither mechanism knows what storage sits below the device front:
+// read-ahead batches and coalesced write-back land on whatever
+// blockdev.Backend the device mounts (local NVMe or netstore's object
+// store). The netstore experiment exists to measure exactly how much
+// more these mechanisms matter when each miss costs a network round
+// trip instead of microseconds.
 package iodaemon
 
 import (

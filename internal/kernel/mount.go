@@ -301,6 +301,11 @@ func (m *Mount) DropCaches() {
 	if d, ok := m.fs.(BlockCacheDropper); ok {
 		d.DropCleanBlocks()
 	}
+	// The storage backend may keep its own cache tier below the device
+	// front (netstore's read-through object cache). Drop its clean
+	// entries too, or a "cold" pass would stream from that cache and
+	// never pay network cost. A no-op for the local backend.
+	m.dev.DropBackendCache()
 }
 
 // vnodePeek returns the resident in-core inode for ino, if any.

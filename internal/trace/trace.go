@@ -65,6 +65,10 @@ const (
 	// transfer / resume phases on the operator's track, and the stall an
 	// operation arriving mid-upgrade pays waiting for resume.
 	CatUpgrade = "upgrade"
+	// CatNet is object-store traffic behind the netstore backend: GET /
+	// PUT request service on the per-connection lanes and the flush
+	// barrier.
+	CatNet = "net"
 )
 
 // Counter indexes one cell-wide counter. Counters are exported under
@@ -101,6 +105,12 @@ const (
 	CtrDevFlushes
 	CtrUpgrades
 	CtrUpgradeStalls
+	CtrNetGets
+	CtrNetPuts
+	CtrNetFlushes
+	CtrNetCacheHits
+	CtrNetCacheMisses
+	CtrNetEvictPuts
 	numCounters
 )
 
@@ -131,6 +141,12 @@ var counterNames = [numCounters]string{
 	CtrDevFlushes:      "dev_flushes",
 	CtrUpgrades:        "upgrades",
 	CtrUpgradeStalls:   "upgrade_stalls",
+	CtrNetGets:         "net_gets",
+	CtrNetPuts:         "net_puts",
+	CtrNetFlushes:      "net_flushes",
+	CtrNetCacheHits:    "net_cache_hits",
+	CtrNetCacheMisses:  "net_cache_misses",
+	CtrNetEvictPuts:    "net_evict_puts",
 }
 
 // Kind distinguishes the three event shapes.

@@ -135,6 +135,16 @@ func (r *Resource) Channels() int {
 // selection would strand the idle interval [free, now) on a mostly-idle
 // channel every time a caller runs ahead, silently discarding capacity.
 func (r *Resource) Acquire(now, service int64) (completion int64) {
+	_, _, completion = r.AcquireInfo(now, service)
+	return completion
+}
+
+// AcquireInfo is Acquire plus placement: it also reports which channel
+// served the request and when service began (completion - service, after
+// queueing). Tracing uses it to lay request spans on per-channel lane
+// tracks, where they are non-overlapping by construction — a channel's
+// free time only moves forward — so span-nesting analyzers stay happy.
+func (r *Resource) AcquireInfo(now, service int64) (channel int, start, completion int64) {
 	if service < 0 {
 		service = 0
 	}
@@ -156,7 +166,7 @@ func (r *Resource) Acquire(now, service int64) (completion int64) {
 			}
 		}
 	}
-	start := now
+	start = now
 	if r.free[best] > start {
 		start = r.free[best]
 	}
@@ -167,7 +177,7 @@ func (r *Resource) Acquire(now, service int64) (completion int64) {
 	r.free[best] = completion
 	r.ops++
 	r.busyNS += service
-	return completion
+	return best, start, completion
 }
 
 // AcquireSerial schedules work that must run after all previously scheduled
