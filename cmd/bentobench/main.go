@@ -14,6 +14,9 @@
 //	bentobench -trace traces/   # one Chrome/Perfetto trace JSON per cell (virtual timeline)
 //	bentobench -backend netstore       # mount every cell on the object-store backend
 //	bentobench -netlat 5ms -netbw 100  # netstore request latency / bandwidth (MB/s) overrides
+//	bentobench -neterr 0.02 -nettail 4 # deterministic per-attempt fault rate / latency-tail multiplier
+//	bentobench -netoutage 10ms:30ms    # full object-store blackout over a virtual-time window
+//	bentobench -nethedge 3             # hedged-GET delay multiplier override
 //	bentobench -shards 8        # add the sharded-buffer-cache Bento row
 //	bentobench -noiod           # disable background I/O (read-ahead + flusher)
 //	bentobench -databypass=false # re-enable data double-caching (seed behaviour)
@@ -37,6 +40,49 @@ import (
 	"bento/internal/harness"
 )
 
+// validateFlags checks the backend choice and the net-fault flag set
+// before any cell runs: an unknown backend or a fault flag without the
+// netstore backend should fail fast with a clear message, not surface
+// mid-matrix from the first cell that mounts. It returns the parsed
+// blackout window (zero when -netoutage is unset).
+func validateFlags(backend string, neterr float64, nettail int, netoutage string, nethedge int) (outStart, outEnd time.Duration, err error) {
+	valid := false
+	for _, b := range harness.Backends {
+		if backend == b {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		return 0, 0, fmt.Errorf("unknown -backend %q (valid: %s)", backend, strings.Join(harness.Backends, ", "))
+	}
+	faulty := neterr != 0 || nettail != 0 || netoutage != "" || nethedge != 0
+	if faulty && backend != harness.BackendNetstore {
+		return 0, 0, fmt.Errorf("-neterr/-nettail/-netoutage/-nethedge require -backend %s (got %q)", harness.BackendNetstore, backend)
+	}
+	if neterr < 0 || neterr > 1 {
+		return 0, 0, fmt.Errorf("-neterr %v outside [0, 1]", neterr)
+	}
+	if netoutage != "" {
+		s, e, ok := strings.Cut(netoutage, ":")
+		if !ok {
+			return 0, 0, fmt.Errorf("-netoutage %q: want start:end (e.g. 10ms:30ms)", netoutage)
+		}
+		outStart, err = time.ParseDuration(s)
+		if err != nil {
+			return 0, 0, fmt.Errorf("-netoutage start: %w", err)
+		}
+		outEnd, err = time.ParseDuration(e)
+		if err != nil {
+			return 0, 0, fmt.Errorf("-netoutage end: %w", err)
+		}
+		if outEnd <= outStart {
+			return 0, 0, fmt.Errorf("-netoutage %q: end must be after start", netoutage)
+		}
+	}
+	return outStart, outEnd, nil
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment id: "+strings.Join(harness.AllExperiments, ", ")+", or all")
 	upgrade := flag.Bool("upgrade", false, "run only the live-upgrade availability scenario (shorthand for -exp upgrade)")
@@ -50,12 +96,23 @@ func main() {
 	backend := flag.String("backend", harness.BackendLocal, "storage backend under every cell: "+strings.Join(harness.Backends, " or ")+" (the netstore experiment always runs its fixed presets)")
 	netlat := flag.Duration("netlat", 0, "netstore request latency override (0 = model default; ignored for -backend local)")
 	netbw := flag.Int("netbw", 0, "netstore streaming bandwidth override in MB/s (0 = model default; ignored for -backend local)")
+	neterr := flag.Float64("neterr", 0, "netstore deterministic per-attempt transient-failure probability (requires -backend netstore)")
+	nettail := flag.Int("nettail", 0, "netstore latency-tail multiplier: ~9%% of attempts take N× and ~1%% take 4N× nominal (requires -backend netstore)")
+	netoutage := flag.String("netoutage", "", "netstore blackout window as start:end virtual durations, e.g. 10ms:30ms (requires -backend netstore)")
+	nethedge := flag.Int("nethedge", 0, "netstore hedged-GET delay multiplier override (requires -backend netstore)")
+	netseed := flag.Int64("netseed", 0, "netstore fault-decision seed (0 = default stream)")
 	shards := flag.Int("shards", 0, "buffer-cache shards for the Bento-shard study row (>1 to enable)")
 	noiod := flag.Bool("noiod", false, "disable the background I/O subsystem on the in-kernel variants")
 	databypass := flag.Bool("databypass", true, "single-copy data caching: file contents bypass the buffer cache on the in-kernel variants (false restores the seed's double-caching)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the benchmark run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof allocation profile (runtime \"allocs\") to this file at exit")
 	flag.Parse()
+
+	outStart, outEnd, err := validateFlags(*backend, *neterr, *nettail, *netoutage, *nethedge)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bentobench: %v\n", err)
+		os.Exit(2)
+	}
 
 	stopProfiles, err := harness.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {
@@ -74,6 +131,12 @@ func main() {
 	o.Backend = *backend
 	o.NetLat = *netlat
 	o.NetBWMBps = *netbw
+	o.NetErrProb = *neterr
+	o.NetTailMult = *nettail
+	o.NetOutageStart = outStart
+	o.NetOutageEnd = outEnd
+	o.NetHedgeMult = *nethedge
+	o.NetFaultSeed = *netseed
 	o.CacheShards = *shards
 	o.NoIODaemon = *noiod
 	o.NoDataBypass = !*databypass

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestValidateFlagsBackend(t *testing.T) {
+	if _, _, err := validateFlags("local", 0, 0, "", 0); err != nil {
+		t.Fatalf("local backend: %v", err)
+	}
+	if _, _, err := validateFlags("netstore", 0, 0, "", 0); err != nil {
+		t.Fatalf("netstore backend: %v", err)
+	}
+	_, _, err := validateFlags("nfs", 0, 0, "", 0)
+	if err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	for _, want := range []string{"nfs", "local", "netstore"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("unknown-backend error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestValidateFlagsFaultsRequireNetstore(t *testing.T) {
+	cases := []struct {
+		name      string
+		neterr    float64
+		nettail   int
+		netoutage string
+		nethedge  int
+	}{
+		{name: "neterr", neterr: 0.02},
+		{name: "nettail", nettail: 4},
+		{name: "netoutage", netoutage: "10ms:30ms"},
+		{name: "nethedge", nethedge: 3},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, _, err := validateFlags("local", c.neterr, c.nettail, c.netoutage, c.nethedge)
+			if err == nil {
+				t.Fatalf("-%s with -backend local accepted", c.name)
+			}
+			if !strings.Contains(err.Error(), "netstore") {
+				t.Fatalf("error %q does not point at -backend netstore", err)
+			}
+			if _, _, err := validateFlags("netstore", c.neterr, c.nettail, c.netoutage, c.nethedge); err != nil {
+				t.Fatalf("-%s with -backend netstore rejected: %v", c.name, err)
+			}
+		})
+	}
+}
+
+func TestValidateFlagsOutageWindow(t *testing.T) {
+	s, e, err := validateFlags("netstore", 0, 0, "10ms:30ms", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 10*time.Millisecond || e != 30*time.Millisecond {
+		t.Fatalf("parsed window [%v, %v), want [10ms, 30ms)", s, e)
+	}
+	for _, bad := range []string{"10ms", "x:30ms", "10ms:y", "30ms:10ms", "10ms:10ms"} {
+		if _, _, err := validateFlags("netstore", 0, 0, bad, 0); err == nil {
+			t.Errorf("-netoutage %q accepted", bad)
+		}
+	}
+}
+
+func TestValidateFlagsErrProbRange(t *testing.T) {
+	for _, bad := range []float64{-0.1, 1.5} {
+		if _, _, err := validateFlags("netstore", bad, 0, "", 0); err == nil {
+			t.Errorf("-neterr %v accepted", bad)
+		}
+	}
+}

@@ -42,6 +42,7 @@ import (
 func main() {
 	md := flag.Bool("md", false, "render GitHub-flavored Markdown instead of plain text")
 	hist := flag.Bool("hist", false, "include per-op latency histograms (syscall spans)")
+	require := flag.String("require", "", "comma-separated span/instant names that must appear at least once across the input traces; exit 1 otherwise")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "tracestat: no trace files or directories given")
@@ -58,6 +59,7 @@ func main() {
 		os.Exit(2)
 	}
 	var cells []cellStat
+	nameCounts := map[string]int{}
 	for _, p := range paths {
 		data, err := os.ReadFile(p)
 		if err != nil {
@@ -75,8 +77,29 @@ func main() {
 			os.Exit(2)
 		}
 		cells = append(cells, st)
+		for name, n := range ct.names {
+			nameCounts[name] += n
+		}
 	}
 	sort.Slice(cells, func(i, j int) bool { return cells[i].key() < cells[j].key() })
+	if *require != "" {
+		missing := false
+		for _, name := range strings.Split(*require, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if n := nameCounts[name]; n == 0 {
+				fmt.Fprintf(os.Stderr, "tracestat: required event %q absent from %d trace file(s)\n", name, len(paths))
+				missing = true
+			} else {
+				fmt.Fprintf(os.Stderr, "tracestat: required event %q: %d occurrence(s)\n", name, n)
+			}
+		}
+		if missing {
+			os.Exit(1)
+		}
+	}
 	if *md {
 		fmt.Print(breakdownMarkdown(cells))
 		if *hist {
@@ -146,12 +169,16 @@ type span struct {
 type cellTrace struct {
 	experiment, variant, cell string
 	spans                     []span
+	// names counts span ("X") and instant ("i") events by name, for
+	// the -require presence check.
+	names map[string]int
 }
 
 // parseTrace decodes one Chrome trace-event JSON file, keeping the "X"
-// (complete span) events; instants and counter samples don't carry
-// durations and are skipped. Timestamps are microseconds with
-// nanosecond precision; they are recovered exactly via round(ts*1000).
+// (complete span) events for the breakdown; instant ("i") events carry
+// no duration but are tallied by name alongside spans so -require can
+// assert their presence. Timestamps are microseconds with nanosecond
+// precision; they are recovered exactly via round(ts*1000).
 func parseTrace(data []byte) (cellTrace, error) {
 	var raw struct {
 		OtherData   map[string]string `json:"otherData"`
@@ -171,14 +198,20 @@ func parseTrace(data []byte) (cellTrace, error) {
 		experiment: raw.OtherData["experiment"],
 		variant:    raw.OtherData["variant"],
 		cell:       raw.OtherData["cell"],
+		names:      map[string]int{},
 	}
 	if ct.variant == "" || ct.cell == "" {
 		return cellTrace{}, fmt.Errorf("missing otherData variant/cell labels (not written by bentobench -trace?)")
 	}
 	for _, e := range raw.TraceEvents {
+		if e.Ph == "i" {
+			ct.names[e.Name]++
+			continue
+		}
 		if e.Ph != "X" {
 			continue
 		}
+		ct.names[e.Name]++
 		if e.Cat == "" {
 			return cellTrace{}, fmt.Errorf("span %q has no category", e.Name)
 		}

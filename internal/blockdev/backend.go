@@ -35,6 +35,16 @@ import (
 // always survives, unflushed data survives or reverts per-block to the
 // last durable value — never tears.
 //
+// Failure protocol. Command methods return (completion, error). A
+// non-nil error means the command did NOT take effect (the read buffer
+// is unspecified, the write was not staged, the flush left dirty state
+// behind); the completion time still reports when the failure became
+// known — timeouts and exhausted retries consume virtual time — and
+// the caller advances to it before surfacing the error. Errors must be
+// as deterministic as completions: a backend that can fail (netstore
+// under its fault model) derives every failure from a seeded decision
+// stream, never from host state. The local backend never fails.
+//
 // Concurrency. Implementations are not required to be safe for
 // concurrent use: the Device serializes every call under its own mutex,
 // which also fixes the booking order (and therefore completion times)
@@ -43,17 +53,17 @@ type Backend interface {
 	// ReadBlock copies block blk into buf (len == BlockSize, already
 	// validated) and returns the completion time of a read command
 	// issued at now. Absent blocks read as zeros.
-	ReadBlock(now int64, blk int, buf []byte) (completion int64)
+	ReadBlock(now int64, blk int, buf []byte) (completion int64, err error)
 
 	// SubmitBlock stages a write of buf to blk in the volatile tier and
 	// returns the command's completion time. The write is observable by
 	// subsequent ReadBlocks immediately and durable after Flush.
-	SubmitBlock(now int64, blk int, buf []byte) (completion int64)
+	SubmitBlock(now int64, blk int, buf []byte) (completion int64, err error)
 
 	// Flush is the durability barrier: it makes every staged write
 	// durable and returns the barrier's completion time. It must not
 	// reorder with previously submitted commands (a full barrier).
-	Flush(now int64) (completion int64)
+	Flush(now int64) (completion int64, err error)
 
 	// DirtyBlocks reports how many blocks are staged but not yet
 	// durable.

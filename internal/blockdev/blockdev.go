@@ -47,6 +47,7 @@ import (
 	"sync"
 
 	"bento/internal/costmodel"
+	"bento/internal/faultinject/seeded"
 	"bento/internal/trace"
 	"bento/internal/vclock"
 )
@@ -114,10 +115,11 @@ type Device struct {
 	rec    *trace.Recorder
 	cmdSeq int64
 
-	// fault injection
-	readErr  map[int]error
-	writeErr map[int]error
-	failAll  error
+	// fault injection: per-direction injected-error tables over the
+	// shared seeded-decision core (the netstore fault model draws from
+	// the same package, so every injection site shares one discipline).
+	readFaults  seeded.ErrorSet
+	writeFaults seeded.ErrorSet
 
 	// power-cut scheduling (see ArmPowerCut): when armed, cutRemaining
 	// counts down on each completed write-class command (Submit/Write or
@@ -221,14 +223,20 @@ func (d *Device) Read(clk *vclock.Clock, blk int, buf []byte) error {
 		return ErrBadSize
 	}
 	d.mu.Lock()
-	if err := d.checkLocked(blk, d.readErr); err != nil {
+	if err := d.checkLocked(blk, &d.readFaults); err != nil {
 		d.mu.Unlock()
+		return err
+	}
+	done, err := d.backend.ReadBlock(clk.NowNS(), blk, buf)
+	if err != nil {
+		// The failure still consumed virtual time (timeouts, retries):
+		// advance to when it became known, then surface it.
+		d.mu.Unlock()
+		clk.AdvanceTo(done)
 		return err
 	}
 	d.stats.Reads++
 	d.stats.BytesRead += int64(d.blockSize)
-
-	done := d.backend.ReadBlock(clk.NowNS(), blk, buf)
 	d.rec.Add(trace.CtrDevReads, 1)
 	d.sampleLocked(done)
 	d.mu.Unlock()
@@ -246,14 +254,20 @@ func (d *Device) Submit(clk *vclock.Clock, blk int, buf []byte) (completion int6
 		return 0, ErrBadSize
 	}
 	d.mu.Lock()
-	if err := d.checkLocked(blk, d.writeErr); err != nil {
+	if err := d.checkLocked(blk, &d.writeFaults); err != nil {
 		d.mu.Unlock()
 		return 0, err
 	}
+	completion, err = d.backend.SubmitBlock(clk.NowNS(), blk, buf)
+	if err != nil {
+		// The write was not staged; it does not count as a write-class
+		// command for power-cut purposes, but the failure's completion
+		// time is real — callers advance to it.
+		d.mu.Unlock()
+		return completion, err
+	}
 	d.stats.Writes++
 	d.stats.BytesWritten += int64(d.blockSize)
-
-	completion = d.backend.SubmitBlock(clk.NowNS(), blk, buf)
 	d.rec.Add(trace.CtrDevWrites, 1)
 	d.sampleLocked(completion)
 	d.countWriteLocked()
@@ -266,11 +280,8 @@ func (d *Device) Submit(clk *vclock.Clock, blk int, buf []byte) (completion int6
 // commands. The write is still volatile until Flush.
 func (d *Device) Write(clk *vclock.Clock, blk int, buf []byte) error {
 	done, err := d.Submit(clk, blk, buf)
-	if err != nil {
-		return err
-	}
-	clk.AdvanceTo(done)
-	return nil
+	clk.AdvanceTo(done) // failures consumed virtual time too (done is 0, a no-op, for validation errors)
+	return err
 }
 
 // Flush issues the durability barrier: for the local backend a FLUSH
@@ -284,14 +295,17 @@ func (d *Device) Flush(clk *vclock.Clock) error {
 		d.mu.Unlock()
 		return ErrPowerLoss
 	}
-	if d.failAll != nil {
-		err := d.failAll
+	if err := d.writeFaults.All(); err != nil {
 		d.mu.Unlock()
 		return err
 	}
+	done, err := d.backend.Flush(clk.NowNS())
+	if err != nil {
+		d.mu.Unlock()
+		clk.AdvanceTo(done)
+		return err
+	}
 	d.stats.Flushes++
-
-	done := d.backend.Flush(clk.NowNS())
 	d.rec.Add(trace.CtrDevFlushes, 1)
 	d.sampleLocked(done)
 	d.countWriteLocked()
@@ -409,49 +423,42 @@ func (d *Device) WriteCmds() int64 {
 func (d *Device) InjectReadError(blk int) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.readErr == nil {
-		d.readErr = make(map[int]error)
-	}
-	d.readErr[blk] = ErrIO
+	d.readFaults.Inject(blk, ErrIO)
 }
 
 // InjectWriteError makes writes of blk fail with ErrIO until cleared.
 func (d *Device) InjectWriteError(blk int) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.writeErr == nil {
-		d.writeErr = make(map[int]error)
-	}
-	d.writeErr[blk] = ErrIO
+	d.writeFaults.Inject(blk, ErrIO)
 }
 
 // FailAll makes every subsequent command fail with ErrIO (a died device).
 func (d *Device) FailAll() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.failAll = ErrIO
+	d.readFaults.InjectAll(ErrIO)
+	d.writeFaults.InjectAll(ErrIO)
 }
 
 // ClearFaults removes all injected failures.
 func (d *Device) ClearFaults() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.readErr, d.writeErr, d.failAll = nil, nil, nil
+	d.readFaults.Clear()
+	d.writeFaults.Clear()
 }
 
 // checkLocked validates blk and applies injected faults. Caller holds d.mu.
-func (d *Device) checkLocked(blk int, errs map[int]error) error {
+func (d *Device) checkLocked(blk int, errs *seeded.ErrorSet) error {
 	if d.powerOut {
 		return ErrPowerLoss
 	}
-	if d.failAll != nil {
-		return d.failAll
+	if err := errs.All(); err != nil {
+		return err
 	}
 	if blk < 0 || blk >= d.blocks {
 		return fmt.Errorf("%w: block %d of %d", ErrOutOfRange, blk, d.blocks)
 	}
-	if err, ok := errs[blk]; ok {
-		return err
-	}
-	return nil
+	return errs.Check(blk)
 }

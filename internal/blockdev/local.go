@@ -44,35 +44,35 @@ func NewLocalBackend(name string, blockSize int, model *costmodel.Model) Backend
 	}
 }
 
-func (lb *localBackend) ReadBlock(now int64, blk int, buf []byte) int64 {
+func (lb *localBackend) ReadBlock(now int64, blk int, buf []byte) (int64, error) {
 	if b, ok := lb.data[blk]; ok {
 		copy(buf, b)
 	} else {
 		clear(buf)
 	}
-	return lb.res.Acquire(now, int64(lb.model.DevRead(lb.blockSize)))
+	return lb.res.Acquire(now, int64(lb.model.DevRead(lb.blockSize))), nil
 }
 
-func (lb *localBackend) SubmitBlock(now int64, blk int, buf []byte) int64 {
+func (lb *localBackend) SubmitBlock(now int64, blk int, buf []byte) (int64, error) {
 	if _, already := lb.dirty[blk]; already {
 		copy(lb.data[blk], buf) // private since the last flush; overwrite in place
 	} else {
 		lb.data[blk] = append(make([]byte, 0, lb.blockSize), buf...) // copy-on-write
 		lb.dirty[blk] = struct{}{}
 	}
-	return lb.res.Acquire(now, int64(lb.model.DevWrite(lb.blockSize)))
+	return lb.res.Acquire(now, int64(lb.model.DevWrite(lb.blockSize))), nil
 }
 
 // Flush promotes the whole write cache to the durable tier. The map
 // walk commutes: it moves whole blocks and derives cost from the count
 // alone, so iteration order cannot leak into virtual time.
-func (lb *localBackend) Flush(now int64) int64 {
+func (lb *localBackend) Flush(now int64) (int64, error) {
 	dirtyBytes := len(lb.dirty) * lb.blockSize
 	for blk := range lb.dirty {
 		lb.persist[blk] = lb.data[blk] // share; next write copies-on-write
 	}
 	lb.dirty = make(map[int]struct{})
-	return lb.res.AcquireSerial(now, int64(lb.model.DevFlush(dirtyBytes)))
+	return lb.res.AcquireSerial(now, int64(lb.model.DevFlush(dirtyBytes))), nil
 }
 
 func (lb *localBackend) DirtyBlocks() int { return len(lb.dirty) }

@@ -95,6 +95,25 @@ type Model struct {
 	// object store (e.g. waiting out replication acks) after the dirty
 	// PUTs themselves have completed.
 	NetFlushBase time.Duration
+	// NetTimeoutMult is the per-request client timeout as a multiple of
+	// the request's nominal (untailed) service time: a request whose
+	// drawn service time exceeds the timeout fails at the deadline and
+	// is retried. Zero disables timeouts. Expressing the deadline as a
+	// multiplier keeps it scale-aware under the -netlat override.
+	NetTimeoutMult int
+	// NetBackoffBase is the delay before the first retry of a failed
+	// object-store request; retry k waits min(NetBackoffBase<<k,
+	// NetBackoffCap) plus deterministic jitter.
+	NetBackoffBase time.Duration
+	// NetBackoffCap caps the exponential retry backoff. It also sets
+	// the circuit breaker's cooldown (a fixed multiple of the cap).
+	NetBackoffCap time.Duration
+	// NetHedgeMult is the hedged-GET delay as a multiple of the
+	// request's nominal service time: if the primary GET has not
+	// completed by then, a second request is issued and the first
+	// completion wins. Zero disables hedging. Only GETs hedge — PUTs
+	// are not idempotent against the staged-write accounting.
+	NetHedgeMult int
 
 	// --- FUSE transport ---
 
@@ -174,11 +193,15 @@ func Default() *Model {
 		// LAN object store: ~0.5ms to first byte, ~330MB/s streaming,
 		// a few ms to harden a commit. The netstore experiment's "wan"
 		// preset scales these up; see internal/harness.
-		NetChannels:  16,
-		NetGetBase:   500 * time.Microsecond,
-		NetPutBase:   600 * time.Microsecond,
-		NetPer4K:     12 * time.Microsecond,
-		NetFlushBase: 2 * time.Millisecond,
+		NetChannels:    16,
+		NetGetBase:     500 * time.Microsecond,
+		NetPutBase:     600 * time.Microsecond,
+		NetPer4K:       12 * time.Microsecond,
+		NetFlushBase:   2 * time.Millisecond,
+		NetTimeoutMult: 6,
+		NetBackoffBase: 200 * time.Microsecond,
+		NetBackoffCap:  5 * time.Millisecond,
+		NetHedgeMult:   3,
 
 		CtxSwitch:        4 * time.Microsecond,
 		FuseMsg:          900 * time.Nanosecond,
@@ -222,11 +245,15 @@ func Fast() *Model {
 		DevFlushBase:  20 * time.Nanosecond,
 		DevFlushPer4K: 1 * time.Nanosecond,
 
-		NetChannels:  16,
-		NetGetBase:   10 * time.Nanosecond,
-		NetPutBase:   10 * time.Nanosecond,
-		NetPer4K:     1 * time.Nanosecond,
-		NetFlushBase: 20 * time.Nanosecond,
+		NetChannels:    16,
+		NetGetBase:     10 * time.Nanosecond,
+		NetPutBase:     10 * time.Nanosecond,
+		NetPer4K:       1 * time.Nanosecond,
+		NetFlushBase:   20 * time.Nanosecond,
+		NetTimeoutMult: 6,
+		NetBackoffBase: 10 * time.Nanosecond,
+		NetBackoffCap:  100 * time.Nanosecond,
+		NetHedgeMult:   3,
 
 		CtxSwitch:        2 * time.Nanosecond,
 		FuseMsg:          1 * time.Nanosecond,

@@ -6,12 +6,14 @@
 package filebench
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
 	"sync"
 	"time"
 
+	"bento/internal/blockdev"
 	"bento/internal/fsapi"
 	"bento/internal/kernel"
 	"bento/internal/trace"
@@ -30,7 +32,11 @@ type Result struct {
 	Ops     int64
 	Bytes   int64
 	Elapsed time.Duration // virtual
-	Errs    int64
+	// Errs counts failures: workers that aborted on an error, plus —
+	// under a config's TolerateIO — individual operations that failed
+	// with an I/O error and were absorbed. Ops counts successes only,
+	// so under faults Ops/Elapsed is goodput, not attempt rate.
+	Errs int64
 
 	// Metrics is the cell's trace-counter snapshot (cache hits, journal
 	// commits, FUSE round-trips, ...), populated by the harness when the
@@ -75,7 +81,7 @@ func (r Result) String() string {
 // is a pure function of virtual time, so multi-thread cells replay
 // bit-for-bit across runs and hosts.
 func runWorkers(tg Target, name string, n int, startAt, duration time.Duration,
-	fn func(w int, task *kernel.Task, deadline int64, pace func()) (ops, bytes int64, err error)) Result {
+	fn func(w int, task *kernel.Task, deadline int64, pace func()) (ops, bytes, errs int64, err error)) Result {
 
 	group := vclock.NewGroup(startAt)
 	// Register every worker clock before any runs: registration order is
@@ -125,10 +131,11 @@ func runWorkers(tg Target, name string, n int, startAt, duration time.Duration,
 					runtime.Goexit()
 				}
 			}
-			ops, bytes, err := fn(w, task, deadline, pace)
+			ops, bytes, errs, err := fn(w, task, deadline, pace)
 			mu.Lock()
 			res.Ops += ops
 			res.Bytes += bytes
+			res.Errs += errs
 			if err != nil {
 				res.Errs++
 			}
@@ -149,6 +156,24 @@ type MicroConfig struct {
 	Duration time.Duration // virtual run length
 	MaxOps   int64         // optional per-thread op cap (0 = none)
 	Seed     int64
+
+	// TolerateIO absorbs per-operation I/O errors (blockdev EIO and
+	// netstore's degraded-mode failures) as failed ops — counted in
+	// Result.Errs, excluded from Ops — instead of aborting the worker.
+	// The goodput discipline of the netfaults experiment.
+	TolerateIO bool
+
+	// PreMeasure, when set, runs after setup completes, at the virtual
+	// time the measured window starts. The netfaults outage cell uses
+	// it to arm a blackout window relative to measurement start.
+	PreMeasure func(startNS int64)
+}
+
+// TolerableIO reports whether err is an I/O failure (blockdev's EIO or
+// its fsapi mapping) that a TolerateIO workload may absorb as a failed
+// operation rather than a worker abort.
+func TolerableIO(err error) bool {
+	return errors.Is(err, blockdev.ErrIO) || errors.Is(err, fsapi.ErrIO)
 }
 
 func (c *MicroConfig) defaults() {
@@ -234,11 +259,14 @@ func ReadMicro(tg Target, cfg MicroConfig) (Result, error) {
 		kind = "rnd"
 	}
 	name := fmt.Sprintf("read-%s-%dt-%dk", kind, cfg.Threads, cfg.IOSize/1024)
+	if cfg.PreMeasure != nil {
+		cfg.PreMeasure(int64(setup.Clk.Now()))
+	}
 	res := runWorkers(tg, name, cfg.Threads, setup.Clk.Now(), cfg.Duration,
-		func(w int, task *kernel.Task, deadline int64, pace func()) (int64, int64, error) {
+		func(w int, task *kernel.Task, deadline int64, pace func()) (int64, int64, int64, error) {
 			f, err := tg.M.Open(task, fmt.Sprintf("/readfile%d", w), fsapi.ORdonly)
 			if err != nil {
-				return 0, 0, err
+				return 0, 0, 0, err
 			}
 			defer tg.M.Close(task, f)
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
@@ -247,7 +275,7 @@ func ReadMicro(tg Target, cfg MicroConfig) (Result, error) {
 			if slots < 1 {
 				slots = 1
 			}
-			var ops, bytes int64
+			var ops, bytes, errs int64
 			var pos int64
 			for task.Clk.NowNS() < deadline && (cfg.MaxOps == 0 || ops < cfg.MaxOps) {
 				pace()
@@ -264,12 +292,16 @@ func ReadMicro(tg Target, cfg MicroConfig) (Result, error) {
 				}
 				n, err := f.PRead(task, buf, off)
 				if err != nil {
-					return ops, bytes, err
+					if cfg.TolerateIO && TolerableIO(err) {
+						errs++
+						continue
+					}
+					return ops, bytes, errs, err
 				}
 				ops++
 				bytes += int64(n)
 			}
-			return ops, bytes, nil
+			return ops, bytes, errs, nil
 		})
 	return res, nil
 }
@@ -290,11 +322,14 @@ func WriteMicro(tg Target, cfg MicroConfig) (Result, error) {
 		kind = "rnd"
 	}
 	name := fmt.Sprintf("write-%s-%dt-%dk", kind, cfg.Threads, cfg.IOSize/1024)
+	if cfg.PreMeasure != nil {
+		cfg.PreMeasure(int64(setup.Clk.Now()))
+	}
 	res := runWorkers(tg, name, cfg.Threads, setup.Clk.Now(), cfg.Duration,
-		func(w int, task *kernel.Task, deadline int64, pace func()) (int64, int64, error) {
+		func(w int, task *kernel.Task, deadline int64, pace func()) (int64, int64, int64, error) {
 			f, err := tg.M.Open(task, fmt.Sprintf("/writefile%d", w), fsapi.ORdwr)
 			if err != nil {
-				return 0, 0, err
+				return 0, 0, 0, err
 			}
 			defer tg.M.Close(task, f)
 			rng := rand.New(rand.NewSource(cfg.Seed + 77 + int64(w)))
@@ -303,7 +338,7 @@ func WriteMicro(tg Target, cfg MicroConfig) (Result, error) {
 			if slots < 1 {
 				slots = 1
 			}
-			var ops, bytes int64
+			var ops, bytes, errs int64
 			var pos int64
 			for task.Clk.NowNS() < deadline && (cfg.MaxOps == 0 || ops < cfg.MaxOps) {
 				pace()
@@ -320,12 +355,16 @@ func WriteMicro(tg Target, cfg MicroConfig) (Result, error) {
 				}
 				n, err := f.PWrite(task, buf, off)
 				if err != nil {
-					return ops, bytes, err
+					if cfg.TolerateIO && TolerableIO(err) {
+						errs++
+						continue
+					}
+					return ops, bytes, errs, err
 				}
 				ops++
 				bytes += int64(n)
 			}
-			return ops, bytes, nil
+			return ops, bytes, errs, nil
 		})
 	return res, nil
 }
@@ -369,7 +408,7 @@ func CreateFiles(tg Target, cfg MetaConfig) (Result, error) {
 	payload := pattern(cfg.FileSize)
 	name := fmt.Sprintf("createfiles-%dt", cfg.Threads)
 	res := runWorkers(tg, name, cfg.Threads, setup.Clk.Now(), cfg.Duration,
-		func(w int, task *kernel.Task, deadline int64, pace func()) (int64, int64, error) {
+		func(w int, task *kernel.Task, deadline int64, pace func()) (int64, int64, int64, error) {
 			var ops, bytes int64
 			for task.Clk.NowNS() < deadline && (cfg.MaxOps == 0 || ops < cfg.MaxOps) {
 				pace()
@@ -377,25 +416,25 @@ func CreateFiles(tg Target, cfg MetaConfig) (Result, error) {
 				p := fmt.Sprintf("/create%d/f%06d", w, ops)
 				f, err := tg.M.Open(task, p, fsapi.OCreate|fsapi.OWronly)
 				if err != nil {
-					return ops, bytes, err
+					return ops, bytes, 0, err
 				}
 				if len(payload) > 0 {
 					if _, err := f.Write(task, payload); err != nil {
 						_ = tg.M.Close(task, f)
-						return ops, bytes, err
+						return ops, bytes, 0, err
 					}
 				}
 				if err := f.FSync(task); err != nil {
 					_ = tg.M.Close(task, f)
-					return ops, bytes, err
+					return ops, bytes, 0, err
 				}
 				if err := tg.M.Close(task, f); err != nil {
-					return ops, bytes, err
+					return ops, bytes, 0, err
 				}
 				ops++
 				bytes += int64(len(payload))
 			}
-			return ops, bytes, nil
+			return ops, bytes, 0, nil
 		})
 	return res, nil
 }
@@ -422,17 +461,17 @@ func DeleteFiles(tg Target, cfg MetaConfig) (Result, error) {
 	}
 	name := fmt.Sprintf("deletefiles-%dt", cfg.Threads)
 	res := runWorkers(tg, name, cfg.Threads, setup.Clk.Now(), cfg.Duration,
-		func(w int, task *kernel.Task, deadline int64, pace func()) (int64, int64, error) {
+		func(w int, task *kernel.Task, deadline int64, pace func()) (int64, int64, int64, error) {
 			var ops int64
 			for int(ops) < cfg.Files && task.Clk.NowNS() < deadline && (cfg.MaxOps == 0 || ops < cfg.MaxOps) {
 				pace()
 				task.Charge(task.Model().AppOpOverhead)
 				if err := tg.M.Unlink(task, fmt.Sprintf("/delete%d/f%06d", w, ops)); err != nil {
-					return ops, 0, err
+					return ops, 0, 0, err
 				}
 				ops++
 			}
-			return ops, 0, nil
+			return ops, 0, 0, nil
 		})
 	return res, nil
 }

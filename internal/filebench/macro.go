@@ -18,6 +18,14 @@ type MacroConfig struct {
 	Duration time.Duration
 	MaxOps   int64
 	Seed     int64
+
+	// TolerateIO absorbs ErrIO-class failures from a faulty backend:
+	// the failed flowop is skipped, counted in Result.Errs, and the
+	// loop moves on instead of aborting the worker.
+	TolerateIO bool
+	// PreMeasure, if set, runs after setup (dataset written and
+	// synced) with the virtual-time ns at which measurement starts.
+	PreMeasure func(startNS int64)
 }
 
 // Varmail is filebench's mail-server personality (Table 6): each loop
@@ -55,71 +63,118 @@ func Varmail(tg Target, cfg MacroConfig) (Result, error) {
 	}
 
 	name := fmt.Sprintf("varmail-%dt", cfg.Threads)
+	if cfg.PreMeasure != nil {
+		cfg.PreMeasure(int64(setup.Clk.Now()))
+	}
 	res := runWorkers(tg, name, cfg.Threads, setup.Clk.Now(), cfg.Duration,
-		func(w int, task *kernel.Task, deadline int64, pace func()) (int64, int64, error) {
+		func(w int, task *kernel.Task, deadline int64, pace func()) (int64, int64, int64, error) {
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
 			dir := fmt.Sprintf("/mail%d", w)
 			appendBuf := pattern(cfg.MeanSize / 2) // write source only
 			next := cfg.Files
-			var ops, bytes int64
+			var ops, bytes, errs int64
+			// tolerate reports whether err should be absorbed: the
+			// flowop is counted as failed and the loop moves on.
+			tolerate := func(err error) bool {
+				if cfg.TolerateIO && TolerableIO(err) {
+					errs++
+					return true
+				}
+				return false
+			}
 			for task.Clk.NowNS() < deadline && (cfg.MaxOps == 0 || ops < cfg.MaxOps) {
 				pace()
 				task.Charge(task.Model().AppOpOverhead)
 				// deletefile
 				victim := fmt.Sprintf("%s/m%05d", dir, rng.Intn(next))
 				if err := tg.M.Unlink(task, victim); err != nil && !errors.Is(err, fsapi.ErrNotExist) {
-					return ops, bytes, err
+					if !tolerate(err) {
+						return ops, bytes, errs, err
+					}
+				} else {
+					ops++
 				}
-				ops++
 				// createfile + appendfilerand + fsync
 				p := fmt.Sprintf("%s/m%05d", dir, next)
 				next++
 				f, err := tg.M.Open(task, p, fsapi.OCreate|fsapi.OWronly|fsapi.OAppend)
 				if err != nil {
-					return ops, bytes, err
+					if tolerate(err) {
+						continue
+					}
+					return ops, bytes, errs, err
 				}
 				if _, err := f.Write(task, appendBuf); err != nil {
-					return ops, bytes, err
+					_ = tg.M.Close(task, f)
+					if tolerate(err) {
+						continue
+					}
+					return ops, bytes, errs, err
 				}
 				ops++
 				if err := f.FSync(task); err != nil {
-					return ops, bytes, err
+					_ = tg.M.Close(task, f)
+					if tolerate(err) {
+						continue
+					}
+					return ops, bytes, errs, err
 				}
 				ops++
 				if err := tg.M.Close(task, f); err != nil {
-					return ops, bytes, err
+					if tolerate(err) {
+						continue
+					}
+					return ops, bytes, errs, err
 				}
 				bytes += int64(len(appendBuf))
 				// openfile + readwholefile + appendfilerand + fsync
 				q := fmt.Sprintf("%s/m%05d", dir, rng.Intn(next))
 				g, err := tg.M.Open(task, q, fsapi.ORdwr|fsapi.OAppend|fsapi.OCreate)
 				if err != nil {
-					return ops, bytes, err
+					if tolerate(err) {
+						continue
+					}
+					return ops, bytes, errs, err
 				}
 				data, rerr := tg.M.ReadFile(task, q)
 				if rerr == nil {
 					bytes += int64(len(data))
+				} else if cfg.TolerateIO && TolerableIO(rerr) {
+					errs++
 				}
 				ops++
 				if _, err := g.Write(task, appendBuf); err != nil {
-					return ops, bytes, err
+					_ = tg.M.Close(task, g)
+					if tolerate(err) {
+						continue
+					}
+					return ops, bytes, errs, err
 				}
 				ops++
 				if err := g.FSync(task); err != nil {
-					return ops, bytes, err
+					_ = tg.M.Close(task, g)
+					if tolerate(err) {
+						continue
+					}
+					return ops, bytes, errs, err
 				}
 				ops++
 				if err := tg.M.Close(task, g); err != nil {
-					return ops, bytes, err
+					if tolerate(err) {
+						continue
+					}
+					return ops, bytes, errs, err
 				}
 				// openfile + readwholefile (another message)
 				r := fmt.Sprintf("%s/m%05d", dir, rng.Intn(next))
 				if data, err := tg.M.ReadFile(task, r); err == nil {
 					bytes += int64(len(data))
+				} else if cfg.TolerateIO && TolerableIO(err) {
+					errs++
 				}
 				ops++
 			}
-			return ops, bytes, nil
+			return ops, bytes, errs, nil
 		})
 	return res, nil
 }
@@ -158,13 +213,16 @@ func Fileserver(tg Target, cfg MacroConfig) (Result, error) {
 	}
 
 	name := fmt.Sprintf("fileserver-%dt", cfg.Threads)
+	if cfg.PreMeasure != nil {
+		cfg.PreMeasure(int64(setup.Clk.Now()))
+	}
 	res := runWorkers(tg, name, cfg.Threads, setup.Clk.Now(), cfg.Duration,
-		func(w int, task *kernel.Task, deadline int64, pace func()) (int64, int64, error) {
+		func(w int, task *kernel.Task, deadline int64, pace func()) (int64, int64, int64, error) {
 			rng := rand.New(rand.NewSource(cfg.Seed + 1000 + int64(w)))
 			dir := fmt.Sprintf("/srv%d", w)
 			appendBuf := pattern(16 << 10) // write source only
 			next := cfg.Files
-			var ops, bytes int64
+			var ops, bytes, errs int64
 			for task.Clk.NowNS() < deadline && (cfg.MaxOps == 0 || ops < cfg.MaxOps) {
 				pace()
 				task.Charge(task.Model().AppOpOverhead)
@@ -172,7 +230,11 @@ func Fileserver(tg Target, cfg MacroConfig) (Result, error) {
 				p := fmt.Sprintf("%s/f%05d", dir, next)
 				next++
 				if err := tg.M.WriteFile(task, p, payload); err != nil {
-					return ops, bytes, err
+					if cfg.TolerateIO && TolerableIO(err) {
+						errs++
+						continue
+					}
+					return ops, bytes, errs, err
 				}
 				ops += 2
 				bytes += int64(len(payload))
@@ -194,11 +256,15 @@ func Fileserver(tg Target, cfg MacroConfig) (Result, error) {
 				// deletefile
 				d := fmt.Sprintf("%s/f%05d", dir, rng.Intn(next))
 				if err := tg.M.Unlink(task, d); err != nil && !errors.Is(err, fsapi.ErrNotExist) {
-					return ops, bytes, err
+					if cfg.TolerateIO && TolerableIO(err) {
+						errs++
+						continue
+					}
+					return ops, bytes, errs, err
 				}
 				ops++
 			}
-			return ops, bytes, nil
+			return ops, bytes, errs, nil
 		})
 	return res, nil
 }
@@ -225,7 +291,7 @@ func DefaultUntarSpec() UntarSpec {
 func Untar(tg Target, spec UntarSpec) (Result, error) {
 	rng := rand.New(rand.NewSource(spec.Seed))
 	res := runWorkers(tg, "untar", 1, 0, time.Hour,
-		func(w int, task *kernel.Task, deadline int64, pace func()) (int64, int64, error) {
+		func(w int, task *kernel.Task, deadline int64, pace func()) (int64, int64, int64, error) {
 			var ops, bytes int64
 			buf := make([]byte, 1<<20)
 			rng.Read(buf)
@@ -233,11 +299,11 @@ func Untar(tg Target, spec UntarSpec) (Result, error) {
 				dir := fmt.Sprintf("/linux/dir%04d", d)
 				if d == 0 {
 					if err := tg.M.Mkdir(task, "/linux"); err != nil {
-						return ops, bytes, err
+						return ops, bytes, 0, err
 					}
 				}
 				if err := tg.M.Mkdir(task, dir); err != nil {
-					return ops, bytes, err
+					return ops, bytes, 0, err
 				}
 				ops++
 				for i := 0; i < spec.FilesPerDir; i++ {
@@ -252,7 +318,7 @@ func Untar(tg Target, spec UntarSpec) (Result, error) {
 					}
 					p := fmt.Sprintf("%s/file%04d.c", dir, i)
 					if err := tg.M.WriteFile(task, p, buf[:size]); err != nil {
-						return ops, bytes, err
+						return ops, bytes, 0, err
 					}
 					ops++
 					bytes += int64(size)
@@ -260,9 +326,9 @@ func Untar(tg Target, spec UntarSpec) (Result, error) {
 			}
 			// tar finishes with the data on disk.
 			if err := tg.M.Sync(task); err != nil {
-				return ops, bytes, err
+				return ops, bytes, 0, err
 			}
-			return ops, bytes, nil
+			return ops, bytes, 0, nil
 		})
 	return res, nil
 }

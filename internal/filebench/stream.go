@@ -18,6 +18,14 @@ type StreamConfig struct {
 	Threads  int
 	IOSize   int   // bytes per read/write call (default 128 KiB)
 	FileSize int64 // bytes streamed per thread (default 32 MiB)
+
+	// TolerateIO keeps a stream alive across ErrIO-class failures from
+	// a faulty backend: the failed chunk is retried at the same offset
+	// and the failure is counted in Result.Errs.
+	TolerateIO bool
+	// PreMeasure, if set, runs after setup (files written, caches
+	// dropped) with the virtual-time ns at which measurement starts.
+	PreMeasure func(startNS int64)
 }
 
 func (c *StreamConfig) defaults() {
@@ -54,21 +62,28 @@ func StreamRead(tg Target, cfg StreamConfig) (Result, error) {
 	tg.M.DropCaches()
 
 	name := fmt.Sprintf("stream-read-%dt-%dk", cfg.Threads, cfg.IOSize/1024)
+	if cfg.PreMeasure != nil {
+		cfg.PreMeasure(int64(setup.Clk.Now()))
+	}
 	res := runWorkers(tg, name, cfg.Threads, setup.Clk.Now(), streamDeadline,
-		func(w int, task *kernel.Task, deadline int64, pace func()) (int64, int64, error) {
+		func(w int, task *kernel.Task, deadline int64, pace func()) (int64, int64, int64, error) {
 			f, err := tg.M.Open(task, fmt.Sprintf("/stream%d", w), fsapi.ORdonly)
 			if err != nil {
-				return 0, 0, err
+				return 0, 0, 0, err
 			}
 			defer tg.M.Close(task, f)
 			buf := make([]byte, cfg.IOSize)
-			var ops, bytes int64
+			var ops, bytes, errs int64
 			for bytes < cfg.FileSize && task.Clk.NowNS() < deadline {
 				pace()
 				task.Charge(task.Model().AppOpOverhead)
 				n, err := f.PRead(task, buf, bytes)
 				if err != nil {
-					return ops, bytes, err
+					if cfg.TolerateIO && TolerableIO(err) {
+						errs++
+						continue // retry the same offset
+					}
+					return ops, bytes, errs, err
 				}
 				if n == 0 {
 					break
@@ -76,7 +91,7 @@ func StreamRead(tg Target, cfg StreamConfig) (Result, error) {
 				ops++
 				bytes += int64(n)
 			}
-			return ops, bytes, nil
+			return ops, bytes, errs, nil
 		})
 	return res, nil
 }
@@ -91,29 +106,36 @@ func StreamWrite(tg Target, cfg StreamConfig) (Result, error) {
 	setup := tg.K.NewTask("setup")
 
 	name := fmt.Sprintf("stream-write-%dt-%dk", cfg.Threads, cfg.IOSize/1024)
+	if cfg.PreMeasure != nil {
+		cfg.PreMeasure(int64(setup.Clk.Now()))
+	}
 	res := runWorkers(tg, name, cfg.Threads, setup.Clk.Now(), streamDeadline,
-		func(w int, task *kernel.Task, deadline int64, pace func()) (int64, int64, error) {
+		func(w int, task *kernel.Task, deadline int64, pace func()) (int64, int64, int64, error) {
 			f, err := tg.M.Open(task, fmt.Sprintf("/wstream%d", w), fsapi.OCreate|fsapi.OWronly|fsapi.OTrunc)
 			if err != nil {
-				return 0, 0, err
+				return 0, 0, 0, err
 			}
 			defer tg.M.Close(task, f)
 			buf := pattern(cfg.IOSize) // write source only; shared read-only chunk
-			var ops, bytes int64
+			var ops, bytes, errs int64
 			for bytes < cfg.FileSize && task.Clk.NowNS() < deadline {
 				pace()
 				task.Charge(task.Model().AppOpOverhead)
 				n, err := f.PWrite(task, buf, bytes)
 				if err != nil {
-					return ops, bytes, err
+					if cfg.TolerateIO && TolerableIO(err) {
+						errs++
+						continue
+					}
+					return ops, bytes, errs, err
 				}
 				ops++
 				bytes += int64(n)
 			}
 			if err := f.FSync(task); err != nil {
-				return ops, bytes, err
+				return ops, bytes, errs, err
 			}
-			return ops, bytes, nil
+			return ops, bytes, errs, nil
 		})
 	return res, nil
 }

@@ -106,7 +106,7 @@ func UpgradeMix(tg Target, cfg UpgradeConfig) (Result, UpgradeReport, error) {
 		swapErr error
 	)
 	res := runWorkers(tg, name, operator+1, start, cfg.Duration,
-		func(w int, task *kernel.Task, deadline int64, pace func()) (int64, int64, error) {
+		func(w int, task *kernel.Task, deadline int64, pace func()) (int64, int64, int64, error) {
 			if w == operator {
 				// The operator sleeps (in virtual time) to the swap point,
 				// is admitted like any worker, and performs the upgrade.
@@ -116,9 +116,9 @@ func UpgradeMix(tg Target, cfg UpgradeConfig) (Result, UpgradeReport, error) {
 					repMu.Lock()
 					swapErr = err
 					repMu.Unlock()
-					return 0, 0, err
+					return 0, 0, 0, err
 				}
-				return 0, 0, nil
+				return 0, 0, 0, nil
 			}
 			reader := w < cfg.Readers
 			path := fmt.Sprintf("/upgread%d", w)
@@ -129,7 +129,7 @@ func UpgradeMix(tg Target, cfg UpgradeConfig) (Result, UpgradeReport, error) {
 			}
 			f, err := tg.M.Open(task, path, mode)
 			if err != nil {
-				return 0, 0, err
+				return 0, 0, 0, err
 			}
 			defer tg.M.Close(task, f)
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
@@ -152,7 +152,7 @@ func UpgradeMix(tg Target, cfg UpgradeConfig) (Result, UpgradeReport, error) {
 					n, err = f.PWrite(task, src, off)
 				}
 				if err != nil {
-					return ops, bytes, err
+					return ops, bytes, 0, err
 				}
 				if d := task.Clk.NowNS() - t0; d > maxNS {
 					maxNS = d
@@ -169,7 +169,7 @@ func UpgradeMix(tg Target, cfg UpgradeConfig) (Result, UpgradeReport, error) {
 			}
 			rep.OpsAfterSwap += after
 			repMu.Unlock()
-			return ops, bytes, nil
+			return ops, bytes, 0, nil
 		})
 	if swapErr != nil {
 		return res, rep, fmt.Errorf("upgrade-mix: swap: %w", swapErr)

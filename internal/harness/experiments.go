@@ -42,11 +42,17 @@ const (
 	// (independent of the -backend/-netlat/-netbw flags), so these cells
 	// are stable benchdiff-gated artifacts. See netstorePlan.
 	ExpNetstore = "netstore"
+	// ExpNetfaults is the network-fault scenario: the netstore cells
+	// rerun under a matrix of deterministic fault conditions — clean,
+	// lossy LAN, lossy WAN, and a mid-run blackout — reporting goodput
+	// (successful ops only) plus retry and degraded-serve counts as
+	// their own benchdiff-gated cells. See netfaultsPlan.
+	ExpNetfaults = "netfaults"
 )
 
 // AllExperiments lists every reproducible artifact in paper order, plus
 // the streaming, upgrade, and netstore scenarios.
-var AllExperiments = []string{ExpTable1, ExpTable2, ExpFig2, ExpFig3, ExpFig4, ExpTable4, ExpTable5, ExpTable6, ExpStream, ExpUpgrade, ExpNetstore}
+var AllExperiments = []string{ExpTable1, ExpTable2, ExpFig2, ExpFig3, ExpFig4, ExpTable4, ExpTable5, ExpTable6, ExpStream, ExpUpgrade, ExpNetstore, ExpNetfaults}
 
 // plan is one experiment's declarative form: an ordered list of
 // self-contained cells plus a renderer that turns the per-variant results
@@ -88,6 +94,8 @@ func planFor(id string, o Options) (*plan, string, error) {
 		return upgradePlan(o), "", nil
 	case ExpNetstore:
 		return netstorePlan(o), "", nil
+	case ExpNetfaults:
+		return netfaultsPlan(o), "", nil
 	}
 	return nil, "", fmt.Errorf("harness: unknown experiment %q (have %v)", id, AllExperiments)
 }

@@ -129,6 +129,39 @@ type Options struct {
 	// object-store streaming bandwidth in MB/s (the -netbw flag).
 	NetBWMBps int
 
+	// NetErrProb, with the netstore backend, arms the deterministic
+	// network-fault model: each wire attempt fails transiently with
+	// this probability (the -neterr flag).
+	NetErrProb float64
+
+	// NetTailMult, with the netstore backend, inflates the request
+	// latency tail: ~9% of attempts take NetTailMult× and ~1% take
+	// 4·NetTailMult× the nominal service time (the -nettail flag).
+	// Values <= 1 leave latency flat.
+	NetTailMult int
+
+	// NetOutageStart/NetOutageEnd, with the netstore backend, schedule
+	// a full object-store blackout over that virtual-time interval
+	// (the -netoutage flag).
+	NetOutageStart time.Duration
+	NetOutageEnd   time.Duration
+
+	// NetHedgeMult, when > 0 with the netstore backend, overrides the
+	// model's hedged-GET delay multiplier (the -nethedge flag).
+	NetHedgeMult int
+
+	// NetFaultSeed keys the per-cell fault-decision stream (0 keeps
+	// the default seed). Experiments use it to decorrelate conditions.
+	NetFaultSeed int64
+
+	// netFaultTune and netModelTune, when non-nil, adjust the cell's
+	// fault policy and cost model after the flag-derived fields are
+	// applied. They are experiment-internal (the netfaults plan shrinks
+	// retry/backoff constants so breaker transitions fit inside a quick
+	// cell's window) and unreachable from bentobench flags.
+	netFaultTune func(*netstore.FaultConfig)
+	netModelTune func(*costmodel.Model)
+
 	// NoDataBypass disables single-copy data caching on the in-kernel
 	// variants: file contents go back through each file system's buffer
 	// cache (and journal), the seed's double-caching behaviour. The
@@ -150,7 +183,7 @@ func (o Options) netstore() bool { return o.Backend == BackendNetstore }
 // cells of several experiments share the base model across host-parallel
 // execution, and mutating it in place would be a determinism leak.
 func (o Options) effectiveModel() *costmodel.Model {
-	if !o.netstore() || (o.NetLat <= 0 && o.NetBWMBps <= 0) {
+	if !o.netstore() || (o.NetLat <= 0 && o.NetBWMBps <= 0 && o.NetHedgeMult <= 0 && o.netModelTune == nil) {
 		return o.Model
 	}
 	m := *o.Model
@@ -163,7 +196,29 @@ func (o Options) effectiveModel() *costmodel.Model {
 		// 4096 bytes at MB/s: 4_096_000/BW nanoseconds per 4KiB page.
 		m.NetPer4K = time.Duration(4_096_000/o.NetBWMBps) * time.Nanosecond
 	}
+	if o.NetHedgeMult > 0 {
+		m.NetHedgeMult = o.NetHedgeMult
+	}
+	if o.netModelTune != nil {
+		o.netModelTune(&m)
+	}
 	return &m
+}
+
+// netFaults assembles the netstore fault configuration from the
+// options' net-fault fields.
+func (o Options) netFaults() netstore.FaultConfig {
+	fc := netstore.FaultConfig{
+		Seed:        o.NetFaultSeed,
+		ErrProb:     o.NetErrProb,
+		TailMult:    o.NetTailMult,
+		OutageStart: o.NetOutageStart,
+		OutageEnd:   o.NetOutageEnd,
+	}
+	if o.netFaultTune != nil {
+		o.netFaultTune(&fc)
+	}
+	return fc
 }
 
 // traced reports whether cells carry a trace recorder.
@@ -246,6 +301,7 @@ func NewTarget(variant string, o Options) (filebench.Target, error) {
 	case BackendNetstore:
 		devCfg.Backend = netstore.New(netstore.Config{
 			Name: "net0", BlockSize: 4096, Blocks: o.DevBlocks, Model: model,
+			Faults: o.netFaults(),
 		})
 	default:
 		return filebench.Target{}, fmt.Errorf("harness: unknown backend %q (have %v)", o.Backend, Backends)

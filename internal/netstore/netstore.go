@@ -44,6 +44,7 @@ import (
 
 	"bento/internal/blockdev"
 	"bento/internal/costmodel"
+	"bento/internal/faultinject/seeded"
 	"bento/internal/lru"
 	"bento/internal/trace"
 	"bento/internal/vclock"
@@ -73,6 +74,10 @@ type Config struct {
 	// CacheObjects is the cache capacity in objects (DefaultCacheObjects
 	// if 0).
 	CacheObjects int
+	// Faults arms the deterministic network-fault model (see faults.go).
+	// The zero value keeps the network perfectly reliable and the
+	// request path identical to the pre-fault implementation.
+	Faults FaultConfig
 }
 
 // object is one cached object: its full contents plus which of its
@@ -107,6 +112,27 @@ type Store struct {
 	// names are precomputed so recording never formats on a hot path.
 	laneTracks []string
 	flushTrack string
+
+	// Network-fault model and client policy (see faults.go). faulty
+	// gates the whole machinery: when false, requests take the clean
+	// path with zero extra draws and zero extra allocations. dec is
+	// monotone for the Store's lifetime — Reset and Crash deliberately
+	// do not rewind it, or replayed decisions would repeat.
+	faults        FaultConfig
+	faulty        bool
+	errPPM        uint32
+	dec           seeded.Decider
+	maxAttempts   int
+	retryBudget   int64
+	breakerK      int
+	cooldown      int64
+	degradedBound int
+	outStart      int64
+	outEnd        int64
+	consecFails   int
+	open          bool
+	halfOpenAt    int64
+	breakerTrack  string
 }
 
 // New builds the object-store backend.
@@ -132,27 +158,52 @@ func New(cfg Config) *Store {
 		s.laneTracks[i] = fmt.Sprintf("net#%02d", i)
 	}
 	s.flushTrack = "net:flush"
+	s.initFaults(cfg.Faults)
 	return s
 }
 
 var _ blockdev.Backend = (*Store)(nil)
 
 // get books one GET on the request channels and returns its completion.
-func (s *Store) get(now, objID int64) int64 {
-	ch, start, done := s.res.AcquireInfo(now, int64(s.model.NetGet(s.objBytes)))
+// Under the fault model it runs the full retry/hedge policy and can
+// fail; the clean path is unchanged from the pre-fault implementation.
+func (s *Store) get(now, objID int64) (int64, error) {
 	s.rec.Add(trace.CtrNetGets, 1)
-	s.rec.SpanAB(s.laneTracks[ch], trace.CatNet, "net-get", start, done, objID, int64(s.objBytes))
-	return done
+	svc := int64(s.model.NetGet(s.objBytes))
+	if !s.faulty {
+		ch, start, done := s.res.AcquireInfo(now, svc)
+		s.rec.SpanAB(s.laneTracks[ch], trace.CatNet, "net-get", start, done, objID, int64(s.objBytes))
+		return done, nil
+	}
+	return s.request(now, objID, svc, reqGet)
 }
 
-// put books one PUT on the request channels, copies the object to the
-// durable tier, and returns the completion time.
-func (s *Store) put(now, objID int64, o *object) int64 {
-	ch, start, done := s.res.AcquireInfo(now, int64(s.model.NetPut(s.objBytes)))
+// put books one PUT on the request channels and, on success, copies the
+// object to the durable tier and returns the completion time. flushing
+// selects the durability-barrier policy profile (breaker bypass, high
+// attempt cap).
+func (s *Store) put(now, objID int64, o *object, flushing bool) (int64, error) {
 	s.rec.Add(trace.CtrNetPuts, 1)
-	s.rec.SpanAB(s.laneTracks[ch], trace.CatNet, "net-put", start, done, objID, int64(s.objBytes))
+	svc := int64(s.model.NetPut(s.objBytes))
+	var done int64
+	if !s.faulty {
+		var ch int
+		var start int64
+		ch, start, done = s.res.AcquireInfo(now, svc)
+		s.rec.SpanAB(s.laneTracks[ch], trace.CatNet, "net-put", start, done, objID, int64(s.objBytes))
+	} else {
+		kind := reqPut
+		if flushing {
+			kind = reqFlushPut
+		}
+		var err error
+		done, err = s.request(now, objID, svc, kind)
+		if err != nil {
+			return done, err
+		}
+	}
 	s.durable[objID] = append(make([]byte, 0, s.objBytes), o.data...)
-	return done
+	return done, nil
 }
 
 // load materializes objID in the cache from the durable tier, charging
@@ -161,16 +212,21 @@ func (s *Store) put(now, objID int64, o *object) int64 {
 // optimization: an allocating write needs no read-modify-write fill,
 // and the client's extent map already knows the object cannot exist).
 // It returns the cached object and the fill's completion time (now when
-// no GET was needed).
-func (s *Store) load(now, objID int64) (*object, int64) {
+// no GET was needed). Under the fault model the GET can fail — degraded
+// fail-fast or retries exhausted — in which case nothing is cached.
+func (s *Store) load(now, objID int64) (*object, int64, error) {
 	done := now
 	o := &object{data: make([]byte, s.objBytes), dirty: make(map[int]struct{})}
 	if durable, ok := s.durable[objID]; ok {
 		copy(o.data, durable)
-		done = s.get(now, objID)
+		var err error
+		done, err = s.get(now, objID)
+		if err != nil {
+			return nil, done, err
+		}
 	}
 	s.insert(now, objID, o)
-	return o, done
+	return o, done, nil
 }
 
 // insert adds o under objID, making room first. The eviction victim is
@@ -186,7 +242,12 @@ func (s *Store) insert(now, objID int64, o *object) {
 		}
 		victim := s.cache.DirtyKeys()[0]
 		vo, _ := s.cache.Peek(victim)
-		s.put(now, victim, vo)
+		if _, err := s.put(now, victim, vo, false); err != nil {
+			// Degraded or retries exhausted: losing staged data is not
+			// an option, so keep the victim dirty and let the cache
+			// grow past capacity until the network recovers.
+			break
+		}
 		s.rec.Add(trace.CtrNetEvictPuts, 1)
 		s.cache.ClearDirty(victim)
 		s.staged -= len(vo.dirty)
@@ -197,26 +258,37 @@ func (s *Store) insert(now, objID int64, o *object) {
 
 // ReadBlock implements blockdev.Backend. A cache hit completes
 // immediately (the network tier adds nothing; CPU and cache costs were
-// charged by the layers above); a miss GETs the whole object.
-func (s *Store) ReadBlock(now int64, blk int, buf []byte) int64 {
+// charged by the layers above); a miss GETs the whole object. While the
+// circuit breaker is open, hits are still served — the degraded-mode
+// reads the net_degraded counter tallies — and misses fail fast.
+func (s *Store) ReadBlock(now int64, blk int, buf []byte) (int64, error) {
 	objID := int64(blk / s.objBlocks)
 	off := (blk % s.objBlocks) * s.blockSize
 	o, ok := s.cache.Get(objID)
 	done := now
 	if ok {
 		s.rec.Add(trace.CtrNetCacheHits, 1)
+		if s.faulty && s.open {
+			s.rec.Add(trace.CtrNetDegraded, 1)
+		}
 	} else {
 		s.rec.Add(trace.CtrNetCacheMisses, 1)
-		o, done = s.load(now, objID)
+		var err error
+		o, done, err = s.load(now, objID)
+		if err != nil {
+			return done, err
+		}
 	}
 	copy(buf, o.data[off:off+s.blockSize])
-	return done
+	return done, nil
 }
 
 // SubmitBlock implements blockdev.Backend: write-back into the cached
 // object. A hit stages the block at no network cost; a miss to an
-// object that exists durably pays a read-modify-write GET first.
-func (s *Store) SubmitBlock(now int64, blk int, buf []byte) int64 {
+// object that exists durably pays a read-modify-write GET first. While
+// the circuit breaker is open, writes keep queueing in cache up to
+// DegradedWriteBlocks staged blocks, then surface EIO.
+func (s *Store) SubmitBlock(now int64, blk int, buf []byte) (int64, error) {
 	objID := int64(blk / s.objBlocks)
 	idx := blk % s.objBlocks
 	o, ok := s.cache.Get(objID)
@@ -225,7 +297,23 @@ func (s *Store) SubmitBlock(now int64, blk int, buf []byte) int64 {
 		s.rec.Add(trace.CtrNetCacheHits, 1)
 	} else {
 		s.rec.Add(trace.CtrNetCacheMisses, 1)
-		o, done = s.load(now, objID)
+		if s.faulty && s.open && now < s.halfOpenAt && s.staged >= s.degradedBound {
+			// Don't bother with the RMW GET (which would fail fast
+			// anyway for durable objects) if the write itself would be
+			// refused.
+			return now, ErrWriteBound
+		}
+		var err error
+		o, done, err = s.load(now, objID)
+		if err != nil {
+			return done, err
+		}
+	}
+	if s.faulty && s.open {
+		if _, already := o.dirty[idx]; !already && s.staged >= s.degradedBound {
+			return done, ErrWriteBound
+		}
+		s.rec.Add(trace.CtrNetDegraded, 1)
 	}
 	copy(o.data[idx*s.blockSize:(idx+1)*s.blockSize], buf)
 	if _, already := o.dirty[idx]; !already {
@@ -233,16 +321,22 @@ func (s *Store) SubmitBlock(now int64, blk int, buf []byte) int64 {
 		s.staged++
 	}
 	s.cache.MarkDirty(objID)
-	return done
+	return done, nil
 }
 
 // Flush implements blockdev.Backend: coalesce every dirty object into a
 // whole-object PUT — all issued at now, so they overlap across the
-// request channels — then fence them with the NetFlush barrier.
-func (s *Store) Flush(now int64) int64 {
+// request channels — then fence them with the NetFlush barrier. Flush
+// PUTs bypass the circuit breaker's fail-fast and retry until durable
+// (the flushMaxAttempts safety valve aside): the durability barrier
+// either completes or surfaces EIO with the un-PUT objects still
+// staged.
+func (s *Store) Flush(now int64) (int64, error) {
 	for _, objID := range s.cache.DirtyKeys() {
 		o, _ := s.cache.Peek(objID)
-		s.put(now, objID, o)
+		if done, err := s.put(now, objID, o, true); err != nil {
+			return done, err
+		}
 		s.cache.ClearDirty(objID)
 		s.staged -= len(o.dirty)
 		clear(o.dirty)
@@ -250,7 +344,7 @@ func (s *Store) Flush(now int64) int64 {
 	done := s.res.AcquireSerial(now, int64(s.model.NetFlush()))
 	s.rec.Add(trace.CtrNetFlushes, 1)
 	s.rec.Span(s.flushTrack, trace.CatNet, "net-flush", max64(now, done-int64(s.model.NetFlush())), done)
-	return done
+	return done, nil
 }
 
 // DirtyBlocks implements blockdev.Backend: blocks staged in cache but
@@ -315,6 +409,13 @@ func (s *Store) DropCache() { s.cache.DropClean() }
 
 // CacheLen reports resident objects (tests).
 func (s *Store) CacheLen() int { return s.cache.Len() }
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
 
 func max64(a, b int64) int64 {
 	if a > b {

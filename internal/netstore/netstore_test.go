@@ -169,15 +169,23 @@ func TestBoundedParallelism(t *testing.T) {
 	buf := make([]byte, 4096)
 	// Make four objects durable, then drop to cold.
 	for obj := 0; obj < 4; obj++ {
-		s.SubmitBlock(0, obj*4, buf)
+		if _, err := s.SubmitBlock(0, obj*4, buf); err != nil {
+			t.Fatal(err)
+		}
 	}
-	s.Flush(0)
+	if _, err := s.Flush(0); err != nil {
+		t.Fatal(err)
+	}
 	s.DropCache()
 	s.Reset()
 
 	want := []int64{100, 100, 200, 200}
 	for obj := 0; obj < 4; obj++ {
-		if done := s.ReadBlock(0, obj*4, buf); done != want[obj] {
+		done, err := s.ReadBlock(0, obj*4, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done != want[obj] {
 			t.Fatalf("cold GET %d completed at %d, want %d", obj, done, want[obj])
 		}
 	}

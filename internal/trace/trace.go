@@ -111,6 +111,10 @@ const (
 	CtrNetCacheHits
 	CtrNetCacheMisses
 	CtrNetEvictPuts
+	CtrNetRetries
+	CtrNetHedges
+	CtrNetTimeouts
+	CtrNetDegraded
 	numCounters
 )
 
@@ -147,6 +151,10 @@ var counterNames = [numCounters]string{
 	CtrNetCacheHits:    "net_cache_hits",
 	CtrNetCacheMisses:  "net_cache_misses",
 	CtrNetEvictPuts:    "net_evict_puts",
+	CtrNetRetries:      "net_retries",
+	CtrNetHedges:       "net_hedges",
+	CtrNetTimeouts:     "net_timeouts",
+	CtrNetDegraded:     "net_degraded",
 }
 
 // Kind distinguishes the three event shapes.

@@ -208,6 +208,26 @@ func (r *Resource) AcquireSerial(now, service int64) (completion int64) {
 	return completion
 }
 
+// Truncate rewinds channel ch's booked horizon to virtual time at,
+// refunding the cancelled tail from the busy-time accounting. It backs
+// hedged-request cancellation: when a hedge wins, the loser's lane is
+// released at the winner's completion instead of staying busy for the
+// full booked service. Callers must not truncate below the start of
+// the booking being cancelled; a truncation at or beyond the channel's
+// current horizon is a no-op.
+func (r *Resource) Truncate(ch int, at int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ch < 0 || ch >= len(r.free) || at >= r.free[ch] {
+		return
+	}
+	r.busyNS -= r.free[ch] - at
+	if r.busyNS < 0 {
+		r.busyNS = 0
+	}
+	r.free[ch] = at
+}
+
 // InUse reports how many channels are still busy at virtual time now —
 // the instantaneous queue occupancy a monitor would observe. Tracing
 // samples it for device queue-depth counter tracks.
